@@ -1,0 +1,22 @@
+// Command slotfind selects a slot window on an environment snapshot
+// produced by cmd/slotgen, using any of the paper's algorithms, and prints
+// the window (human-readable, JSON, or as a Gantt chart).
+//
+// Usage:
+//
+//	slotfind -env FILE [-alg NAME] [-tasks N] [-volume V] [-budget S]
+//	         [-deadline D] [-min-perf P] [-alternatives] [-json] [-gantt]
+//
+// Algorithms: amp, minfinish, mincost, minruntime, minproctime, minenergy,
+// firstfit.
+package main
+
+import (
+	"os"
+
+	"slotsel/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Slotfind(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,18 @@
+// Command slotgen generates a distributed environment snapshot (nodes +
+// published slots) and writes it as JSON, so that selections can be run and
+// compared on a fixed environment with cmd/slotfind.
+//
+// Usage:
+//
+//	slotgen [-nodes N] [-horizon H] [-seed S] [-o FILE] [-linear-pricing]
+package main
+
+import (
+	"os"
+
+	"slotsel/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Slotgen(os.Args[1:], os.Stdout, os.Stderr))
+}

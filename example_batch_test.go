@@ -1,0 +1,107 @@
+package slotsel_test
+
+import (
+	"fmt"
+
+	"slotsel"
+)
+
+// exampleBatchList builds four nodes with full-interval availability so the
+// two-stage scheduling example is deterministic and easy to follow.
+func exampleBatchList() slotsel.SlotList {
+	l := slotsel.SlotList{}
+	specs := []struct {
+		id    int
+		perf  float64
+		price float64
+	}{
+		{1, 10, 3}, {2, 5, 1.2}, {3, 5, 1.0}, {4, 2, 0.4},
+	}
+	for _, s := range specs {
+		n := &slotsel.Node{ID: s.id, Perf: s.perf, Price: s.price}
+		l = append(l, &slotsel.Slot{Node: n, Interval: slotsel.Interval{Start: 0, End: 400}})
+	}
+	l.SortByStart()
+	return l
+}
+
+func ExampleScheduleBatch() {
+	batch := &slotsel.Batch{}
+	batch.Add(&slotsel.Job{ID: 1, Name: "high", Priority: 2,
+		Request: slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 80}})
+	batch.Add(&slotsel.Job{ID: 2, Name: "low", Priority: 1,
+		Request: slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 60}})
+
+	// MaxAlternatives bounds the per-job CSA search: unbounded, the
+	// high-priority job's alternatives would consume the whole slot list
+	// before the low-priority job gets its turn.
+	plan, err := slotsel.ScheduleBatch(exampleBatchList(), batch,
+		slotsel.CSAOptions{MinSlotLength: 5, MaxAlternatives: 3},
+		slotsel.SelectConfig{Budget: 120, Criterion: slotsel.ByFinish})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("scheduled %d/2 jobs, total cost %.0f\n", plan.Scheduled, plan.TotalCost)
+	for _, a := range plan.Assignments {
+		if a.Chosen != nil {
+			fmt.Printf("%s: start=%.0f finish=%.0f cost=%.0f\n",
+				a.Job.Name, a.Chosen.Start, a.Chosen.Finish(), a.Chosen.Cost)
+		}
+	}
+	// Output:
+	// scheduled 2/2 jobs, total cost 104
+	// high: start=0 finish=20 cost=54
+	// low: start=30 finish=50 cost=50
+}
+
+func ExampleReplay() {
+	list := exampleBatchList()
+	req := slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 80}
+	w, err := slotsel.MinFinish{}.Find(list, &req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Build a minimal environment around the list for the replay.
+	e := &slotsel.Environment{Slots: list, Horizon: 400}
+	for _, s := range list {
+		e.Nodes = append(e.Nodes, s.Node)
+	}
+	rep, err := slotsel.Replay(e, []*slotsel.Window{w})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("events=%d makespan=%.0f cpu=%.0f\n", len(rep.Events), rep.Makespan, rep.TotalProcTime)
+	// Output:
+	// events=4 makespan=20 cpu=30
+}
+
+func ExampleStrategy() {
+	list := exampleBatchList()
+	req := slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 120}
+
+	fast, _ := slotsel.MinRunTime{}.Find(list, &req)
+	cheap, _ := slotsel.MinCost{}.Find(list, &req)
+	fmt.Printf("MinRunTime: runtime=%.0f cost=%.0f\n", fast.Runtime, fast.Cost)
+	fmt.Printf("MinCost:    runtime=%.0f cost=%.0f\n", cheap.Runtime, cheap.Cost)
+
+	// A runtime-leaning weighted strategy picks the fast window; a
+	// cost-leaning one keeps the cheap window.
+	components := []slotsel.Algorithm{slotsel.MinRunTime{}, slotsel.MinCost{}}
+	runtimeLeaning := slotsel.Strategy{
+		Algorithms: components,
+		Score:      slotsel.StrategyWeights{Runtime: 1, Cost: 0.1}.Score,
+	}
+	w, err := runtimeLeaning.Find(list, &req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("Weighted:   runtime=%.0f cost=%.0f\n", w.Runtime, w.Cost)
+	// Output:
+	// MinRunTime: runtime=20 cost=54
+	// MinCost:    runtime=50 cost=40
+	// Weighted:   runtime=20 cost=54
+}

@@ -1,0 +1,103 @@
+package slotsel_test
+
+import (
+	"fmt"
+
+	"slotsel"
+)
+
+// buildExampleList constructs a tiny heterogeneous environment by hand:
+// three nodes of different performance and price, each publishing one or
+// two free slots.
+func buildExampleList() slotsel.SlotList {
+	fast := &slotsel.Node{ID: 1, Perf: 10, Price: 4}
+	mid := &slotsel.Node{ID: 2, Perf: 5, Price: 1.5}
+	slow := &slotsel.Node{ID: 3, Perf: 2, Price: 0.5}
+	l := slotsel.SlotList{
+		{Node: fast, Interval: slotsel.Interval{Start: 0, End: 40}},
+		{Node: mid, Interval: slotsel.Interval{Start: 10, End: 100}},
+		{Node: slow, Interval: slotsel.Interval{Start: 0, End: 200}},
+		{Node: fast, Interval: slotsel.Interval{Start: 120, End: 200}},
+	}
+	l.SortByStart()
+	return l
+}
+
+func ExampleAMP() {
+	list := buildExampleList()
+	// Two tasks of volume 100: 10 time units on the fast node, 20 on the
+	// mid node, 50 on the slow node.
+	req := slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 100}
+	w, err := slotsel.AMP{}.Find(list, &req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The earliest position with two simultaneously available slots is t=0:
+	// fast [0,40) and slow [0,200) both host their task there.
+	fmt.Printf("start=%.0f size=%d cost=%.0f\n", w.Start, w.Size(), w.Cost)
+	// Output:
+	// start=0 size=2 cost=65
+}
+
+func ExampleMinCost() {
+	list := buildExampleList()
+	req := slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 100}
+	w, err := slotsel.MinCost{}.Find(list, &req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The cheapest pair is mid (20 x 1.5 = 30) + slow (50 x 0.5 = 25),
+	// available together from t=10.
+	fmt.Printf("start=%.0f cost=%.0f runtime=%.0f\n", w.Start, w.Cost, w.Runtime)
+	// Output:
+	// start=10 cost=55 runtime=50
+}
+
+func ExampleMinRunTime() {
+	list := buildExampleList()
+	req := slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 100}
+	w, err := slotsel.MinRunTime{}.Find(list, &req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The fastest feasible pair under the budget is fast (10u, cost 40) +
+	// mid (20u, cost 30): runtime 20.
+	fmt.Printf("runtime=%.0f cost=%.0f\n", w.Runtime, w.Cost)
+	// Output:
+	// runtime=20 cost=70
+}
+
+func ExampleSearchAlternatives() {
+	list := buildExampleList()
+	req := slotsel.Request{TaskCount: 2, Volume: 100, MaxCost: 100}
+	alts, err := slotsel.SearchAlternatives(list, &req, slotsel.CSAOptions{MinSlotLength: 5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, w := range alts {
+		fmt.Printf("alternative %d: start=%.0f cost=%.0f\n", i+1, w.Start, w.Cost)
+	}
+	best := slotsel.BestAlternative(alts, slotsel.ByCost)
+	fmt.Printf("cheapest: start=%.0f cost=%.0f\n", best.Start, best.Cost)
+	// Output:
+	// alternative 1: start=0 cost=65
+	// alternative 2: start=10 cost=70
+	// alternative 3: start=30 cost=70
+	// alternative 4: start=50 cost=55
+	// alternative 5: start=120 cost=65
+	// cheapest: start=50 cost=55
+}
+
+func ExampleRequest_Matches() {
+	req := slotsel.Request{TaskCount: 1, Volume: 10, MinPerf: 5, OS: []slotsel.OS{"linux"}}
+	fast := &slotsel.Node{ID: 1, Perf: 8, OS: "linux"}
+	slow := &slotsel.Node{ID: 2, Perf: 3, OS: "linux"}
+	windows := &slotsel.Node{ID: 3, Perf: 8, OS: "windows"}
+	fmt.Println(req.Matches(fast), req.Matches(slow), req.Matches(windows))
+	// Output:
+	// true false false
+}

@@ -1,0 +1,60 @@
+// Deadline-constrained selection and CSA alternatives: a user needs the job
+// finished by a deadline; the CSA scheme enumerates disjoint alternative
+// windows, giving the scheduler a choice set instead of a single answer.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"slotsel"
+)
+
+func main() {
+	rng := slotsel.NewRand(99)
+	e := slotsel.GenerateEnvironment(slotsel.DefaultEnvConfig(), rng)
+	fmt.Printf("environment: %d nodes, %d slots\n\n", len(e.Nodes), len(e.Slots))
+
+	// Tightening the deadline shrinks the feasible set until nothing fits.
+	fmt.Println("deadline sweep (MinCost under a finish deadline):")
+	for _, deadline := range []float64{600, 300, 150, 80, 50, 30} {
+		req := slotsel.DefaultRequest()
+		req.Deadline = deadline
+		w, err := slotsel.MinCost{}.Find(e.Slots, &req)
+		if errors.Is(err, slotsel.ErrNoWindow) {
+			fmt.Printf("  deadline %5.0f: no feasible window\n", deadline)
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  deadline %5.0f: start=%6.1f finish=%6.1f cost=%7.1f\n",
+			deadline, w.Start, w.Finish(), w.Cost)
+	}
+
+	// CSA: all disjoint alternatives for the unconstrained request, and the
+	// per-criterion extremes selected from the same set.
+	req := slotsel.DefaultRequest()
+	alts, err := slotsel.SearchAlternatives(e.Slots, &req, slotsel.CSAOptions{MinSlotLength: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCSA found %d disjoint alternatives; first five:\n", len(alts))
+	for i, w := range alts {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  #%d start=%6.1f finish=%6.1f runtime=%5.1f cost=%7.1f\n",
+			i+1, w.Start, w.Finish(), w.Runtime, w.Cost)
+	}
+
+	fmt.Println("\nextreme alternatives by criterion (optimization at selection time):")
+	for _, c := range []slotsel.Criterion{
+		slotsel.ByStart, slotsel.ByFinish, slotsel.ByCost, slotsel.ByRuntime, slotsel.ByProcTime,
+	} {
+		w := slotsel.BestAlternative(alts, c)
+		fmt.Printf("  best by %-8s: start=%6.1f finish=%6.1f runtime=%5.1f cpu=%6.1f cost=%7.1f\n",
+			c, w.Start, w.Finish(), w.Runtime, w.ProcTime, w.Cost)
+	}
+}

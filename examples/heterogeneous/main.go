@@ -1,0 +1,98 @@
+// Heterogeneous resources: resource requests constrain node hardware and
+// software (performance floor, RAM, disk, operating system), and the same
+// environment yields very different windows depending on both the
+// requirements and the optimization criterion.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"slotsel"
+)
+
+func main() {
+	rng := slotsel.NewRand(7)
+	cfg := slotsel.DefaultEnvConfig()
+	cfg.Nodes.Count = 160
+	e := slotsel.GenerateEnvironment(cfg, rng)
+
+	// Count the hardware/software mix of the generated environment.
+	osCount := map[slotsel.OS]int{}
+	for _, n := range e.Nodes {
+		osCount[n.OS]++
+	}
+	fmt.Printf("environment: %d nodes, %d slots; OS mix: %v\n\n", len(e.Nodes), len(e.Slots), osCount)
+
+	requests := []struct {
+		name string
+		req  slotsel.Request
+	}{
+		{"anything", slotsel.Request{
+			TaskCount: 5, Volume: 150, MaxCost: 1500,
+		}},
+		{"linux+8GB", slotsel.Request{
+			TaskCount: 5, Volume: 150, MaxCost: 1500,
+			OS: []slotsel.OS{"linux"}, MinRAMMB: 8192,
+		}},
+		{"fast nodes", slotsel.Request{
+			TaskCount: 5, Volume: 150, MaxCost: 2600,
+			MinPerf: 7,
+		}},
+		{"big disk, any 3", slotsel.Request{
+			TaskCount: 3, Volume: 200, MaxCost: 1400,
+			MinDiskGB: 500,
+		}},
+	}
+
+	algorithms := []slotsel.Algorithm{
+		slotsel.AMP{},
+		slotsel.MinCost{},
+		slotsel.MinRunTime{},
+	}
+
+	for _, rc := range requests {
+		fmt.Printf("request %q (n=%d, vol=%g, budget=%g):\n",
+			rc.name, rc.req.TaskCount, rc.req.Volume, rc.req.MaxCost)
+		for _, alg := range algorithms {
+			req := rc.req
+			w, err := alg.Find(e.Slots, &req)
+			if errors.Is(err, slotsel.ErrNoWindow) {
+				fmt.Printf("  %-10s no feasible window\n", alg.Name())
+				continue
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			slowest, fastest := 11.0, 0.0
+			for _, p := range w.Placements {
+				if p.Node().Perf < slowest {
+					slowest = p.Node().Perf
+				}
+				if p.Node().Perf > fastest {
+					fastest = p.Node().Perf
+				}
+			}
+			fmt.Printf("  %-10s start=%6.1f runtime=%5.1f cost=%7.1f perf=[%g..%g]\n",
+				alg.Name(), w.Start, w.Runtime, w.Cost, slowest, fastest)
+		}
+		fmt.Println()
+	}
+
+	// The energy-criterion extension: trade runtime for energy by putting
+	// the job on slower (lower-power) nodes within the budget.
+	req := slotsel.DefaultRequest()
+	me := slotsel.MinEnergy{}
+	we, err := me.Find(e.Slots, &req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wr, err := slotsel.MinRunTime{}.Find(e.Slots, &req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy extension (E = perf^2 x time per task):\n")
+	fmt.Printf("  MinEnergy:  runtime=%5.1f energy=%8.1f cost=%7.1f\n", we.Runtime, me.Energy(we), we.Cost)
+	fmt.Printf("  MinRunTime: runtime=%5.1f energy=%8.1f cost=%7.1f\n", wr.Runtime, me.Energy(wr), wr.Cost)
+}

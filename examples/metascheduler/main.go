@@ -1,0 +1,51 @@
+// Metascheduler: the long-run operational context of the paper's slot
+// selection algorithms. A virtual organization's metascheduler runs
+// consecutive scheduling cycles over non-dedicated resources: jobs arrive
+// continuously, each cycle publishes the current free slots, the two-stage
+// scheme (CSA alternatives + combination selection) schedules the pending
+// batch, and accepted co-allocations become reservations that constrain the
+// following cycles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slotsel"
+)
+
+func main() {
+	cfg := slotsel.DefaultVOSimConfig()
+	cfg.Seed = 7
+	cfg.Cycles = 30
+	cfg.ArrivalRate = 6
+
+	fmt.Printf("simulating %d scheduling cycles (advance %.0f, lookahead %.0f), %.0f jobs/cycle on average\n\n",
+		cfg.Cycles, cfg.CycleAdvance, cfg.Horizon, cfg.ArrivalRate)
+
+	res, err := slotsel.RunVOSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %d jobs, scheduled %d (%.0f%%), dropped %d after retries\n",
+		res.Submitted, res.Scheduled, 100*res.AcceptanceRate(), res.Dropped)
+	fmt.Printf("average queue length: %.1f jobs, average wait: %.2f cycles\n",
+		res.QueueLength.Mean(), res.WaitCycles.Mean())
+	fmt.Printf("average accepted window: cost %.1f, finish %.1f after cycle start\n",
+		res.WindowCost.Mean(), res.WindowFinish.Mean())
+	fmt.Printf("broker utilization of total node time: %.1f%%\n\n", 100*res.BrokerUtilization)
+
+	// Load sensitivity: the same VO under increasing arrival pressure.
+	fmt.Println("arrival-rate sweep (same environment seed):")
+	fmt.Println("  rate  accepted  queue  wait(cycles)  utilization")
+	for _, rate := range []float64{2, 6, 12, 24} {
+		c := cfg
+		c.ArrivalRate = rate
+		r, err := slotsel.RunVOSimulation(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4.0f  %7.0f%%  %5.1f  %12.2f  %10.1f%%\n",
+			rate, 100*r.AcceptanceRate(), r.QueueLength.Mean(), r.WaitCycles.Mean(), 100*r.BrokerUtilization)
+	}
+}

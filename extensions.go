@@ -1,0 +1,147 @@
+package slotsel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"slotsel/internal/baseline"
+	"slotsel/internal/execsim"
+	"slotsel/internal/generic"
+	"slotsel/internal/persist"
+	"slotsel/internal/strategy"
+	"slotsel/internal/vosim"
+)
+
+// Extensions beyond the paper's §2.2 special cases, re-exported from their
+// implementation packages.
+
+type (
+	// Weight assigns the §2.1 per-slot characteristic z to a candidate for
+	// the generic extreme-criterion algorithm.
+	Weight = generic.Weight
+
+	// Extreme is the general 0-1 formulation of AEP: minimize any additive
+	// per-slot weight under the cost budget, solved exactly per scan step
+	// (branch and bound) or greedily.
+	Extreme = generic.Extreme
+
+	// ExecReport is the outcome of replaying a schedule on an environment.
+	ExecReport = execsim.Report
+
+	// ExecEvent is one task start/finish in a replayed execution.
+	ExecEvent = execsim.Event
+
+	// VOSimConfig parametrizes the rolling-horizon VO metascheduler
+	// simulation: consecutive scheduling cycles, Poisson job arrivals, a
+	// retry queue, and carry-over reservations.
+	VOSimConfig = vosim.Config
+
+	// VOSimResult aggregates a long-run simulation's outcomes.
+	VOSimResult = vosim.Result
+
+	// Strategy combines several algorithms and selects the best-scoring
+	// window — the §2.1 "combining the optimization criteria" mechanism.
+	Strategy = strategy.Strategy
+
+	// StrategyWeights is a linear score over window characteristics.
+	StrategyWeights = strategy.Weights
+)
+
+// BalancedStrategy trades completion time against cost with normalized
+// weights: score = finish/horizon + cost/budget.
+func BalancedStrategy(horizon, budget float64) Strategy {
+	return strategy.Balanced(horizon, budget)
+}
+
+// DefaultVOSimConfig returns a medium long-run workload on the paper's
+// node population.
+func DefaultVOSimConfig() VOSimConfig { return vosim.DefaultConfig() }
+
+// RunVOSimulation executes the long-run metascheduler simulation.
+func RunVOSimulation(cfg VOSimConfig) (*VOSimResult, error) { return vosim.Run(cfg) }
+
+// ALP is the earlier works' "Algorithm based on Local Price of slots"
+// baseline: first fit where every slot individually satisfies the local
+// budget share S/n. The paper cites AMP's advantage over it.
+type ALP = baseline.ALP
+
+// AlgorithmByName resolves an algorithm identifier (as used by the CLI
+// tools and configuration files) to an implementation. Recognized names,
+// case-insensitive: amp, alp, minfinish, mincost, minruntime, minproctime,
+// minproctimegreedy, minenergy, firstfit. seed feeds the randomized
+// MinProcTime variant.
+func AlgorithmByName(name string, seed uint64) (Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "amp":
+		return AMP{}, nil
+	case "alp":
+		return ALP{}, nil
+	case "minfinish":
+		return MinFinish{}, nil
+	case "mincost":
+		return MinCost{}, nil
+	case "minruntime":
+		return MinRunTime{}, nil
+	case "minproctime":
+		return MinProcTime{Seed: seed}, nil
+	case "minproctimegreedy":
+		return MinProcTimeGreedy{}, nil
+	case "minenergy":
+		return MinEnergy{}, nil
+	case "firstfit":
+		return FirstFit{}, nil
+	}
+	return nil, fmt.Errorf("slotsel: unknown algorithm %q", name)
+}
+
+// Generic weights for Extreme.
+var (
+	// WeightProcTime minimizes the total CPU time.
+	WeightProcTime = generic.WeightProcTime
+
+	// WeightCost minimizes the total allocation cost.
+	WeightCost = generic.WeightCost
+)
+
+// WeightEnergy builds a weight from an energy model (nil = perf^2 x time).
+func WeightEnergy(model func(perf, exec float64) float64) Weight {
+	return generic.WeightEnergy(model)
+}
+
+// Replay verifies that the windows are executable on the environment (every
+// task inside a published slot, no node double-booking) and returns the
+// event trace and realized metrics.
+func Replay(e *Environment, windows []*Window) (*ExecReport, error) {
+	return execsim.Replay(e, windows)
+}
+
+// WriteEnvironment snapshots an environment as JSON (see cmd/slotgen).
+func WriteEnvironment(w io.Writer, e *Environment) error {
+	return persist.WriteEnvironment(w, e)
+}
+
+// ReadEnvironment loads an environment snapshot written by WriteEnvironment.
+func ReadEnvironment(r io.Reader) (*Environment, error) {
+	return persist.ReadEnvironment(r)
+}
+
+// WriteWindow serializes a window as JSON.
+func WriteWindow(w io.Writer, win *Window) error {
+	return persist.WriteWindow(w, win)
+}
+
+// ReadWindow loads a window against the environment it was found on.
+func ReadWindow(r io.Reader, e *Environment) (*Window, error) {
+	return persist.ReadWindow(r, e)
+}
+
+// WriteRequest serializes a resource request as JSON.
+func WriteRequest(w io.Writer, req *Request) error {
+	return persist.WriteRequest(w, req)
+}
+
+// ReadRequest loads and validates a resource request.
+func ReadRequest(r io.Reader) (*Request, error) {
+	return persist.ReadRequest(r)
+}

@@ -1,0 +1,3 @@
+module slotsel
+
+go 1.22

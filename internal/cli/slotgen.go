@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"slotsel/internal/env"
+	"slotsel/internal/persist"
+	"slotsel/internal/randx"
+)
+
+// Slotgen generates an environment snapshot (see cmd/slotgen).
+func Slotgen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slotgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nodeCount = fs.Int("nodes", 100, "CPU node count")
+		horizon   = fs.Float64("horizon", 600, "scheduling interval length")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		out       = fs.String("o", "", "output file (default stdout)")
+		linear    = fs.Bool("linear-pricing", false, "use strictly linear pricing instead of the market-premium model")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := env.DefaultConfig().WithNodeCount(*nodeCount).WithHorizon(*horizon)
+	if *linear {
+		cfg.Nodes.Pricing.Degree = 1
+	}
+	e := env.Generate(cfg, randx.New(*seed))
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotgen:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := persist.WriteEnvironment(w, e); err != nil {
+		fmt.Fprintln(stderr, "slotgen:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "slotgen: %d nodes, %d slots, %.0f%% initially loaded\n",
+		len(e.Nodes), len(e.Slots), 100*e.Utilization())
+	return 0
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"slotsel/internal/job"
+	"slotsel/internal/slots"
+)
+
+// Candidate is a slot considered for the current window position, with the
+// request-specific execution time and reservation cost precomputed.
+type Candidate struct {
+	// Slot is the underlying availability window.
+	Slot *slots.Slot
+
+	// Exec is the execution time of one task of the request on the slot's
+	// node.
+	Exec float64
+
+	// Cost is Exec x per-unit node price.
+	Cost float64
+}
+
+// VisitFunc is invoked by Scan at every scan position where at least
+// req.TaskCount suitable slots are available. start is the current window
+// start time (the start of the most recently added slot); cands holds the
+// suitable candidates — every candidate can host a task over
+// [start, start+Exec] within its slot (and within the request deadline).
+//
+// The cands slice is reused between calls: implementations must copy
+// whatever they keep. Returning true stops the scan early.
+type VisitFunc func(start float64, cands []Candidate) (stop bool)
+
+// Scan is the AEP general scheme: a single pass over the slot list in order
+// of non-decreasing start time, maintaining the set of slots that remain
+// suitable for a window starting at the current position, and invoking
+// visit whenever a window of the requested size could be formed.
+//
+// The list must be sorted by start time (slots.List.SortByStart); Scan
+// returns an error otherwise, because an unsorted list silently breaks the
+// linear-scan correctness argument of §2.1.
+func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	if !list.IsSortedByStart() {
+		return fmt.Errorf("core: slot list is not ordered by start time")
+	}
+
+	// window is the current extended window: slots that still can host a
+	// task for a window starting at the current position. Its size is
+	// bounded by the node count (per node, free slots are disjoint, and
+	// every retained slot contains the current start), which is what makes
+	// the per-step filtering cost O(nodes) and the whole scan O(m x nodes).
+	var window []Candidate
+
+	for _, s := range list {
+		if !req.Matches(s.Node) {
+			continue // the slot does not meet the requirements
+		}
+		exec := req.ExecTime(s.Node)
+		start := s.Start
+		if effEnd(s, req) < start+exec {
+			// The slot can never host the task, not even starting at its
+			// own beginning; skip it entirely.
+			continue
+		}
+		if req.Deadline > 0 && start+exec > req.Deadline {
+			// Windows only start later from here on; with the fastest
+			// possible start already past the deadline for this node, the
+			// slot is useless — but faster nodes may still fit, so only
+			// skip this slot, not the scan.
+			continue
+		}
+		window = append(window, Candidate{Slot: s, Exec: exec, Cost: exec * s.Node.Price})
+
+		// Advance the window start to the newest slot's start and drop
+		// every slot that no longer provides its minimum required length.
+		kept := window[:0]
+		for _, c := range window {
+			if effEnd(c.Slot, req)-start >= c.Exec {
+				kept = append(kept, c)
+			}
+		}
+		window = kept
+
+		if len(window) >= req.TaskCount {
+			if visit(start, window) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// effEnd returns the effective end of a slot under the request's deadline:
+// a task must finish both within the slot and by the deadline.
+func effEnd(s *slots.Slot, req *job.Request) float64 {
+	if req.Deadline > 0 && req.Deadline < s.End {
+		return req.Deadline
+	}
+	return s.End
+}
+
+// CountSuitable returns the number of slots in the list whose node matches
+// the request and which are long enough to ever host one task. It is a
+// cheap feasibility diagnostic used by callers before launching searches.
+func CountSuitable(list slots.List, req *job.Request) int {
+	n := 0
+	for _, s := range list {
+		if !req.Matches(s.Node) {
+			continue
+		}
+		if effEnd(s, req)-s.Start >= req.ExecTime(s.Node) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+// Package env ties the resource, load and slot models together into a
+// distributed computing environment snapshot for one scheduling cycle: a set
+// of heterogeneous CPU nodes plus the list of free slots they publish over
+// the scheduling interval.
+package env
+
+import (
+	"fmt"
+
+	"slotsel/internal/load"
+	"slotsel/internal/nodes"
+	"slotsel/internal/randx"
+	"slotsel/internal/slots"
+)
+
+// Environment is the distributed environment state for one scheduling cycle.
+type Environment struct {
+	// Nodes are the CPU nodes, indexed by ID.
+	Nodes []*nodes.Node
+
+	// Slots is the list of all published free slots, ordered by
+	// non-decreasing start time (the AEP scan precondition).
+	Slots slots.List
+
+	// Horizon is the scheduling interval length; slots live in [0, Horizon).
+	Horizon float64
+}
+
+// Config parametrizes environment generation. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Nodes configures the node generator.
+	Nodes nodes.GenConfig
+
+	// Load configures the initial (local/high-priority) load.
+	Load load.Config
+
+	// Horizon is the scheduling interval length (paper default: 600).
+	Horizon float64
+
+	// MinSlotLength suppresses published slots shorter than this. The local
+	// task minimum length (10) is a natural choice: shorter gaps cannot
+	// host even the smallest local job.
+	MinSlotLength float64
+}
+
+// DefaultConfig reproduces §3.1: 100 nodes, performance U{2..10},
+// free-market pricing, 10-50% hypergeometric initial load, interval [0,600].
+func DefaultConfig() Config {
+	return Config{
+		Nodes:         nodes.DefaultGenConfig(),
+		Load:          load.DefaultConfig(),
+		Horizon:       600,
+		MinSlotLength: 10,
+	}
+}
+
+// WithNodeCount returns a copy of the config with the node count replaced.
+func (c Config) WithNodeCount(n int) Config {
+	c.Nodes.Count = n
+	return c
+}
+
+// WithHorizon returns a copy of the config with the scheduling interval
+// length replaced.
+func (c Config) WithHorizon(h float64) Config {
+	c.Horizon = h
+	return c
+}
+
+// Generate draws a fresh environment snapshot. Generation is deterministic
+// given rng's state.
+func Generate(cfg Config, rng *randx.Rand) *Environment {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 600
+	}
+	ns := nodes.Generate(cfg.Nodes, rng)
+	var all slots.List
+	for _, n := range ns {
+		busy := cfg.Load.BusyIntervals(cfg.Horizon, rng)
+		all = append(all, slots.FreeSlots(n, busy, cfg.Horizon, cfg.MinSlotLength)...)
+	}
+	all.SortByStart()
+	return &Environment{Nodes: ns, Slots: all, Horizon: cfg.Horizon}
+}
+
+// Utilization returns the fraction of the node-time capacity that is NOT
+// published as free slots, i.e. the realized initial load (including
+// suppressed short gaps).
+func (e *Environment) Utilization() float64 {
+	capacity := float64(len(e.Nodes)) * e.Horizon
+	if capacity == 0 {
+		return 0
+	}
+	return 1 - e.Slots.TotalSpan()/capacity
+}
+
+// Validate checks environment invariants: a valid slot list, slot spans
+// within [0, Horizon), and slot nodes belonging to the environment.
+func (e *Environment) Validate() error {
+	if err := e.Slots.Validate(); err != nil {
+		return err
+	}
+	if !e.Slots.IsSortedByStart() {
+		return fmt.Errorf("env: slot list not sorted by start time")
+	}
+	byID := make(map[int]*nodes.Node, len(e.Nodes))
+	for _, n := range e.Nodes {
+		byID[n.ID] = n
+	}
+	for _, s := range e.Slots {
+		if s.Start < 0 || s.End > e.Horizon {
+			return fmt.Errorf("env: slot %v outside horizon %.2f", s, e.Horizon)
+		}
+		if byID[s.Node.ID] != s.Node {
+			return fmt.Errorf("env: slot %v references foreign node", s)
+		}
+	}
+	return nil
+}

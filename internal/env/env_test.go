@@ -1,0 +1,159 @@
+package env
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slotsel/internal/randx"
+)
+
+func TestGenerateDefaultValid(t *testing.T) {
+	e := Generate(DefaultConfig(), randx.New(1))
+	if len(e.Nodes) != 100 {
+		t.Fatalf("got %d nodes, want 100", len(e.Nodes))
+	}
+	if e.Horizon != 600 {
+		t.Fatalf("horizon %g, want 600", e.Horizon)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Slots) == 0 {
+		t.Fatal("no slots published")
+	}
+}
+
+func TestGenerateUtilizationBand(t *testing.T) {
+	// Realized utilization (including suppressed short gaps) should hover
+	// around the configured 10-50% band across several environments.
+	rng := randx.New(2)
+	sum := 0.0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		e := Generate(DefaultConfig(), rng)
+		u := e.Utilization()
+		if u < 0.05 || u > 0.60 {
+			t.Fatalf("utilization %g wildly out of band", u)
+		}
+		sum += u
+	}
+	if avg := sum / trials; avg < 0.15 || avg > 0.45 {
+		t.Errorf("average utilization %g, want around 0.30", avg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(), randx.New(7))
+	b := Generate(DefaultConfig(), randx.New(7))
+	if len(a.Slots) != len(b.Slots) {
+		t.Fatalf("slot counts differ: %d vs %d", len(a.Slots), len(b.Slots))
+	}
+	for i := range a.Slots {
+		if a.Slots[i].Interval != b.Slots[i].Interval || a.Slots[i].Node.ID != b.Slots[i].Node.ID {
+			t.Fatalf("slot %d differs", i)
+		}
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	cfg := DefaultConfig().WithNodeCount(25).WithHorizon(1200)
+	e := Generate(cfg, randx.New(3))
+	if len(e.Nodes) != 25 {
+		t.Errorf("got %d nodes, want 25", len(e.Nodes))
+	}
+	if e.Horizon != 1200 {
+		t.Errorf("horizon %g, want 1200", e.Horizon)
+	}
+	for _, s := range e.Slots {
+		if s.End > 1200 {
+			t.Fatalf("slot %v beyond horizon", s)
+		}
+	}
+}
+
+func TestSlotCountGrowsWithNodesAndHorizon(t *testing.T) {
+	rng := randx.New(4)
+	base := Generate(DefaultConfig(), rng)
+	moreNodes := Generate(DefaultConfig().WithNodeCount(200), rng)
+	longer := Generate(DefaultConfig().WithHorizon(1800), rng)
+	if len(moreNodes.Slots) <= len(base.Slots) {
+		t.Errorf("200 nodes published %d slots, 100 nodes %d", len(moreNodes.Slots), len(base.Slots))
+	}
+	if len(longer.Slots) <= len(base.Slots) {
+		t.Errorf("interval 1800 published %d slots, 600 %d", len(longer.Slots), len(base.Slots))
+	}
+}
+
+func TestMinSlotLengthRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinSlotLength = 25
+	e := Generate(cfg, randx.New(5))
+	for _, s := range e.Slots {
+		if s.Length() < 25 {
+			t.Fatalf("slot %v shorter than MinSlotLength", s)
+		}
+	}
+}
+
+func TestZeroHorizonDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Horizon = 0
+	e := Generate(cfg, randx.New(6))
+	if e.Horizon != 600 {
+		t.Errorf("zero horizon not defaulted: %g", e.Horizon)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	t.Run("slot beyond horizon", func(t *testing.T) {
+		e := Generate(DefaultConfig().WithNodeCount(5), randx.New(8))
+		if len(e.Slots) == 0 {
+			t.Skip("no slots")
+		}
+		e.Slots[len(e.Slots)-1].End = e.Horizon + 50
+		if err := e.Validate(); err == nil {
+			t.Error("slot beyond horizon passed validation")
+		}
+	})
+	t.Run("foreign node", func(t *testing.T) {
+		e := Generate(DefaultConfig().WithNodeCount(5), randx.New(9))
+		if len(e.Slots) == 0 {
+			t.Skip("no slots")
+		}
+		foreign := *e.Slots[0].Node
+		e.Slots[0].Node = &foreign
+		if err := e.Validate(); err == nil {
+			t.Error("foreign node passed validation")
+		}
+	})
+	t.Run("unsorted slots", func(t *testing.T) {
+		e := Generate(DefaultConfig().WithNodeCount(5), randx.New(10))
+		if len(e.Slots) < 2 {
+			t.Skip("not enough slots")
+		}
+		e.Slots[0], e.Slots[len(e.Slots)-1] = e.Slots[len(e.Slots)-1], e.Slots[0]
+		if err := e.Validate(); err == nil {
+			t.Error("unsorted slot list passed validation")
+		}
+	})
+}
+
+func TestUtilizationEmptyEnvironment(t *testing.T) {
+	e := &Environment{Horizon: 100}
+	if got := e.Utilization(); got != 0 {
+		t.Errorf("empty environment utilization %g", got)
+	}
+}
+
+func TestGeneratePropertyValid(t *testing.T) {
+	check := func(seed uint64, nodesRaw, horizonRaw uint8) bool {
+		cfg := DefaultConfig().
+			WithNodeCount(int(nodesRaw%40) + 1).
+			WithHorizon(float64(horizonRaw%20)*100 + 100)
+		e := Generate(cfg, randx.New(seed))
+		return e.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package execsim replays a schedule against the environment it was built
+// for: a discrete-event simulation of task starts and completions that
+// verifies the schedule is executable (no node-time conflicts, every task
+// inside a published free slot) and reports realized metrics (utilization,
+// makespan, per-node busy time).
+//
+// The paper's evaluation stops at window selection; the replay closes the
+// loop a real resource manager would need — proof that the selected windows
+// can actually run.
+package execsim
+
+import (
+	"fmt"
+	"sort"
+
+	"slotsel/internal/core"
+	"slotsel/internal/env"
+	"slotsel/internal/slots"
+)
+
+// Event is one task start or completion in the replayed execution.
+type Event struct {
+	// Time of the event.
+	Time float64
+
+	// NodeID hosting the task.
+	NodeID int
+
+	// WindowIndex identifies the window the task belongs to (index into the
+	// replayed window list).
+	WindowIndex int
+
+	// Kind is "start" or "finish".
+	Kind string
+}
+
+// Report is the outcome of a replay.
+type Report struct {
+	// Events is the full event trace ordered by time.
+	Events []Event
+
+	// Makespan is the latest completion time (0 when nothing ran).
+	Makespan float64
+
+	// BusyTime maps node ID to the total time the node executes replayed
+	// tasks.
+	BusyTime map[int]float64
+
+	// TotalProcTime is the summed busy time.
+	TotalProcTime float64
+
+	// Utilization is TotalProcTime over the published free capacity of the
+	// environment (not the raw node-time capacity: non-dedicated load
+	// already owns the rest).
+	Utilization float64
+}
+
+// Replay verifies that the windows are executable on e and builds the event
+// trace. It fails if a task lies outside every published slot of its node,
+// if two tasks overlap on one node, or if a window references a node the
+// environment does not contain.
+func Replay(e *env.Environment, windows []*core.Window) (*Report, error) {
+	byID := make(map[int]bool, len(e.Nodes))
+	for _, n := range e.Nodes {
+		byID[n.ID] = true
+	}
+	type span struct {
+		iv  slots.Interval
+		win int
+	}
+	perNode := make(map[int][]span)
+
+	rep := &Report{BusyTime: make(map[int]float64)}
+	for wi, w := range windows {
+		for _, p := range w.Placements {
+			id := p.Node().ID
+			if !byID[id] {
+				return nil, fmt.Errorf("execsim: window %d references unknown node %d", wi, id)
+			}
+			used := p.Used()
+			if !coveredByFreeSlot(e, id, used) {
+				return nil, fmt.Errorf("execsim: window %d task on node %d runs %v outside any published slot", wi, id, used)
+			}
+			perNode[id] = append(perNode[id], span{iv: used, win: wi})
+		}
+	}
+
+	// Conflict detection per node.
+	for id, spans := range perNode {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].iv.Start < spans[j].iv.Start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i-1].iv.End > spans[i].iv.Start {
+				return nil, fmt.Errorf("execsim: node %d double-booked: windows %d and %d overlap (%v, %v)",
+					id, spans[i-1].win, spans[i].win, spans[i-1].iv, spans[i].iv)
+			}
+		}
+	}
+
+	// Build the event trace and the metrics.
+	for id, spans := range perNode {
+		for _, s := range spans {
+			rep.Events = append(rep.Events,
+				Event{Time: s.iv.Start, NodeID: id, WindowIndex: s.win, Kind: "start"},
+				Event{Time: s.iv.End, NodeID: id, WindowIndex: s.win, Kind: "finish"},
+			)
+			length := s.iv.Length()
+			rep.BusyTime[id] += length
+			rep.TotalProcTime += length
+			if s.iv.End > rep.Makespan {
+				rep.Makespan = s.iv.End
+			}
+		}
+	}
+	sort.Slice(rep.Events, func(i, j int) bool {
+		a, b := rep.Events[i], rep.Events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.NodeID != b.NodeID {
+			return a.NodeID < b.NodeID
+		}
+		return a.Kind == "finish" && b.Kind == "start"
+	})
+	if capacity := e.Slots.TotalSpan(); capacity > 0 {
+		rep.Utilization = rep.TotalProcTime / capacity
+	}
+	return rep, nil
+}
+
+func coveredByFreeSlot(e *env.Environment, nodeID int, iv slots.Interval) bool {
+	for _, s := range e.Slots {
+		if s.Node.ID == nodeID && s.Start <= iv.Start && iv.End <= s.End {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplayPlan extracts the scheduled windows from a batch plan and replays
+// them. Plans are produced by internal/batchsched.
+func ReplayPlan(e *env.Environment, chosen []*core.Window) (*Report, error) {
+	var nonNil []*core.Window
+	for _, w := range chosen {
+		if w != nil {
+			nonNil = append(nonNil, w)
+		}
+	}
+	return Replay(e, nonNil)
+}

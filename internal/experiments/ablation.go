@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"slotsel/internal/baseline"
+	"slotsel/internal/core"
+	"slotsel/internal/env"
+	"slotsel/internal/job"
+	"slotsel/internal/metrics"
+	"slotsel/internal/randx"
+)
+
+// AblationConfig parametrizes the design-decision ablations documented in
+// DESIGN.md §4: the pricing degree (market premium vs the paper's literal
+// linear wording), the MinRunTime budget check (literal pseudocode vs the
+// evident intent), and greedy vs exact per-step runtime selection.
+type AblationConfig struct {
+	Cycles  int
+	Seed    uint64
+	Env     env.Config
+	Request job.Request
+}
+
+// DefaultAblationConfig returns a medium-size ablation setup.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{
+		Cycles:  1000,
+		Seed:    1,
+		Env:     env.DefaultConfig(),
+		Request: job.DefaultRequest(),
+	}
+}
+
+// AblationRow is one variant's aggregate outcome.
+type AblationRow struct {
+	Variant string
+	Found   int
+	Missed  int
+	Runtime metrics.Accumulator
+	Cost    metrics.Accumulator
+	Start   metrics.Accumulator
+}
+
+// AblationResult groups the rows of one ablation study.
+type AblationResult struct {
+	Title string
+	Rows  []*AblationRow
+}
+
+// RunPricingAblation compares MinRunTime and MinCost outcomes under the
+// market-premium pricing (degree 2, default) and the literal linear pricing
+// (degree 1). Under linear pricing per-slot cost is performance-independent,
+// so the budget stops excluding fast nodes and MinRunTime collapses to the
+// fastest free nodes — the behaviour the paper's published numbers rule out.
+func RunPricingAblation(cfg AblationConfig) ([]*AblationResult, error) {
+	var out []*AblationResult
+	for _, alg := range []core.Algorithm{core.MinRunTime{}, core.MinCost{}} {
+		res := &AblationResult{Title: fmt.Sprintf("pricing degree ablation: %s", alg.Name())}
+		for _, degree := range []float64{1, 2} {
+			e := cfg.Env
+			e.Nodes.Pricing.Degree = degree
+			row, err := runVariant(fmt.Sprintf("degree=%.0f", degree), alg, e, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunBudgetCheckAblation compares the paper's literal MinRunTime budget
+// check (no refund of the replaced slot) against the corrected check.
+func RunBudgetCheckAblation(cfg AblationConfig) (*AblationResult, error) {
+	res := &AblationResult{Title: "MinRunTime swap budget check ablation"}
+	variants := []struct {
+		name string
+		alg  core.Algorithm
+	}{
+		{"corrected (refund replaced slot)", core.MinRunTime{}},
+		{"literal pseudocode", core.MinRunTime{LiteralBudget: true}},
+	}
+	for _, v := range variants {
+		row, err := runVariant(v.name, v.alg, cfg.Env, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunGreedyVsExactAblation compares the paper's greedy runtime-minimizing
+// substitution with the exact per-step selection, for both MinRunTime and
+// MinFinish.
+func RunGreedyVsExactAblation(cfg AblationConfig) ([]*AblationResult, error) {
+	var out []*AblationResult
+	groups := []struct {
+		title    string
+		variants []core.Algorithm
+	}{
+		{"MinRunTime: greedy vs exact per-step selection",
+			[]core.Algorithm{core.MinRunTime{}, core.MinRunTime{Exact: true}}},
+		{"MinFinish: greedy vs exact per-step selection",
+			[]core.Algorithm{core.MinFinish{}, core.MinFinish{Exact: true}}},
+	}
+	for _, g := range groups {
+		res := &AblationResult{Title: g.title}
+		for _, alg := range g.variants {
+			row, err := runVariant(alg.Name(), alg, cfg.Env, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunAMPvsALP reproduces the earlier works' comparison the paper cites
+// ("AMP ... proved the advantage over ALP"): ALP bounds every slot by the
+// local budget share S/n, so it starts later or misses windows whose total
+// cost is fine but whose composition is locally uneven.
+func RunAMPvsALP(cfg AblationConfig) (*AblationResult, error) {
+	res := &AblationResult{Title: "AMP vs ALP (first-fit with total vs local price constraint)"}
+	variants := []struct {
+		name string
+		alg  core.Algorithm
+	}{
+		{"AMP (total budget)", core.AMP{}},
+		{"ALP (local per-slot share)", baseline.ALP{}},
+	}
+	// With the abundant base setup both first-fits start at t=0; the local
+	// constraint only binds under budget scarcity, so the study runs both a
+	// base and a tight-budget (65%) configuration.
+	for _, scale := range []struct {
+		label  string
+		factor float64
+	}{
+		{"", 1},
+		{", tight budget", 0.65},
+	} {
+		scaled := cfg
+		scaled.Request.MaxCost = cfg.Request.MaxCost * scale.factor
+		for _, v := range variants {
+			row, err := runVariant(v.name+scale.label, v.alg, scaled.Env, scaled)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runVariant(name string, alg core.Algorithm, envCfg env.Config, cfg AblationConfig) (*AblationRow, error) {
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("experiments: ablation needs positive cycles, got %d", cfg.Cycles)
+	}
+	row := &AblationRow{Variant: name}
+	rng := randx.New(cfg.Seed)
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		e := env.Generate(envCfg, rng)
+		req := cfg.Request
+		w, err := alg.Find(e.Slots, &req)
+		if errors.Is(err, core.ErrNoWindow) {
+			row.Missed++
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
+		}
+		row.Found++
+		row.Runtime.Add(w.Runtime)
+		row.Cost.Add(w.Cost)
+		row.Start.Add(w.Start)
+	}
+	return row, nil
+}

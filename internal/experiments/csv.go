@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV export: machine-readable experiment results for downstream plotting.
+// Every writer emits one header row followed by data rows; errors from the
+// underlying writer surface through csv.Writer.Error.
+
+// WriteQualityCSV emits the quality study as rows of
+// (algorithm, metric, mean, stddev, count).
+func (r *QualityResult) WriteQualityCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "metric", "mean", "stddev", "count"}); err != nil {
+		return err
+	}
+	for _, m := range []FigureMetric{MetricStart, MetricRuntime, MetricFinish, MetricProcTime, MetricCost} {
+		for _, v := range r.Figure(m) {
+			rec := []string{
+				v.Algorithm,
+				m.String(),
+				fmt.Sprintf("%.6f", v.Mean),
+				fmt.Sprintf("%.6f", v.StdDev),
+				fmt.Sprintf("%d", v.Count),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimingCSV emits a timing sweep as rows of
+// (sweep, param, series, value) where series is an algorithm's working time
+// in milliseconds, the slot count, or the CSA alternative count.
+func (r *TimingResult) WriteTimingCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sweep", "param", "series", "value"}); err != nil {
+		return err
+	}
+	emit := func(p *TimingPoint, series string, value float64) error {
+		return cw.Write([]string{
+			r.SweepLabel,
+			fmt.Sprintf("%.0f", p.Param),
+			series,
+			fmt.Sprintf("%.6f", value),
+		})
+	}
+	for _, p := range r.Points {
+		if err := emit(p, "slots", p.SlotCount.Mean()); err != nil {
+			return err
+		}
+		if err := emit(p, "csa_alternatives", p.CSAAlternatives.Mean()); err != nil {
+			return err
+		}
+		if err := emit(p, "csa_per_alt_ms", p.CSAPerAlternative()*1e3); err != nil {
+			return err
+		}
+		for _, name := range TimedAlgoNames {
+			if err := emit(p, name+"_ms", p.AlgoSeconds[name].Mean()*1e3); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV emits extension-sweep curves as rows of
+// (algorithm, param, metric, mean, found, missed).
+func WriteSweepCSV(w io.Writer, results []*SweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "param", "metric", "mean", "found", "missed"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.Points {
+			rows := []struct {
+				metric string
+				value  float64
+			}{
+				{"start", p.Start.Mean()},
+				{"runtime", p.Runtime.Mean()},
+				{"finish", p.Finish.Mean()},
+				{"cost", p.Cost.Mean()},
+			}
+			for _, row := range rows {
+				rec := []string{
+					r.Algorithm,
+					fmt.Sprintf("%.0f", p.Param),
+					row.metric,
+					fmt.Sprintf("%.6f", row.value),
+					fmt.Sprintf("%d", p.Found),
+					fmt.Sprintf("%d", p.Missed),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

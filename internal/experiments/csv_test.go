@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func parseCSV(t *testing.T, data string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(bytes.NewReader([]byte(data))).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestWriteQualityCSV(t *testing.T) {
+	res, err := RunQuality(smallQualityConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteQualityCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// 5 metrics x (5 algorithms + CSA) + header.
+	if want := 5*6 + 1; len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	if rows[0][0] != "algorithm" {
+		t.Errorf("header %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if _, err := strconv.ParseFloat(row[2], 64); err != nil {
+			t.Fatalf("mean cell %q not numeric", row[2])
+		}
+		if n, err := strconv.Atoi(row[4]); err != nil || n <= 0 {
+			t.Fatalf("count cell %q invalid", row[4])
+		}
+	}
+}
+
+func TestWriteTimingCSV(t *testing.T) {
+	res, err := RunNodeSweep(smallTimingConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTimingCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// 2 points x (slots + alternatives + per-alt + 6 algorithms) + header.
+	if want := 2*(3+len(TimedAlgoNames)) + 1; len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	series := map[string]bool{}
+	for _, row := range rows[1:] {
+		series[row[2]] = true
+	}
+	for _, want := range []string{"slots", "csa_alternatives", "CSA_ms", "AMP_ms"} {
+		if !series[want] {
+			t.Errorf("series %q missing", want)
+		}
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	cfg := DefaultSweepConfig()
+	cfg.Cycles = 10
+	cfg.Env.Nodes.Count = 30
+	cfg.TaskCounts = []int{2, 3}
+	results, err := RunTaskCountSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// 4 algorithms x 2 points x 4 metrics + header.
+	if want := 4*2*4 + 1; len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"slotsel/internal/csa"
+)
+
+// smallQualityConfig shrinks the study so tests stay fast while remaining
+// statistically meaningful for shape assertions.
+func smallQualityConfig(cycles int) QualityConfig {
+	cfg := DefaultQualityConfig()
+	cfg.Cycles = cycles
+	cfg.Env.Nodes.Count = 40
+	return cfg
+}
+
+func TestRunQualityShape(t *testing.T) {
+	res, err := RunQuality(smallQualityConfig(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*WindowStats{}
+	for _, s := range res.Algos {
+		byName[s.Name] = s
+		if s.Found == 0 {
+			t.Fatalf("%s never found a window", s.Name)
+		}
+	}
+
+	// The published orderings (Figs. 2-4): these are statistical, but with
+	// 120 cycles the separations are far wider than the noise.
+	if byName["AMP"].Start.Mean() > 1 {
+		t.Errorf("AMP average start %g, want ~0", byName["AMP"].Start.Mean())
+	}
+	if byName["MinFinish"].Finish.Mean() > byName["MinCost"].Finish.Mean() {
+		t.Error("MinFinish finishes later than MinCost on average")
+	}
+	for _, name := range []string{"AMP", "MinFinish", "MinProcTime", "MinCost"} {
+		if byName["MinRunTime"].Runtime.Mean() > byName[name].Runtime.Mean()+1e-9 {
+			t.Errorf("MinRunTime runtime %g above %s's %g",
+				byName["MinRunTime"].Runtime.Mean(), name, byName[name].Runtime.Mean())
+		}
+	}
+	for _, name := range []string{"AMP", "MinFinish", "MinProcTime", "MinRunTime"} {
+		if byName["MinCost"].Cost.Mean() > byName[name].Cost.Mean() {
+			t.Errorf("MinCost cost %g above %s's %g",
+				byName["MinCost"].Cost.Mean(), name, byName[name].Cost.Mean())
+		}
+	}
+	if res.CSA.Alternatives.Mean() < 2 {
+		t.Errorf("CSA found only %g alternatives on average", res.CSA.Alternatives.Mean())
+	}
+
+	// Per-criterion CSA selection must be at least as good as the CSA
+	// earliest-start alternative on that criterion.
+	for _, c := range AllCriteria {
+		sel := res.CSA.Best[c].Mean()
+		first := res.CSA.BestWindows[csa.ByStart]
+		var firstVal float64
+		switch c {
+		case csa.ByStart:
+			firstVal = first.Start.Mean()
+		case csa.ByFinish:
+			firstVal = first.Finish.Mean()
+		case csa.ByCost:
+			firstVal = first.Cost.Mean()
+		case csa.ByRuntime:
+			firstVal = first.Runtime.Mean()
+		case csa.ByProcTime:
+			firstVal = first.ProcTime.Mean()
+		}
+		if sel > firstVal+1e-9 {
+			t.Errorf("CSA best-by-%s %g worse than earliest-start alternative's %g", c, sel, firstVal)
+		}
+	}
+}
+
+func TestRunQualityDeterministic(t *testing.T) {
+	cfg := smallQualityConfig(30)
+	a, err := RunQuality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunQuality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Algos {
+		if a.Algos[i].Cost.Mean() != b.Algos[i].Cost.Mean() {
+			t.Fatalf("%s not deterministic", a.Algos[i].Name)
+		}
+	}
+	if a.CSA.Alternatives.Mean() != b.CSA.Alternatives.Mean() {
+		t.Fatal("CSA alternative count not deterministic")
+	}
+}
+
+func TestRunQualityRejectsBadConfig(t *testing.T) {
+	cfg := smallQualityConfig(0)
+	if _, err := RunQuality(cfg); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	cfg = smallQualityConfig(10)
+	cfg.Request.TaskCount = 0
+	if _, err := RunQuality(cfg); err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestFigureExtraction(t *testing.T) {
+	res, err := RunQuality(smallQualityConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []FigureMetric{MetricStart, MetricRuntime, MetricFinish, MetricProcTime, MetricCost} {
+		bars := res.Figure(m)
+		if len(bars) != len(AlgoNames)+1 {
+			t.Fatalf("figure %v has %d bars", m, len(bars))
+		}
+		if bars[len(bars)-1].Algorithm != "CSA" {
+			t.Errorf("last bar %q, want CSA", bars[len(bars)-1].Algorithm)
+		}
+		if m.String() == "unknown" {
+			t.Errorf("metric %d has no name", m)
+		}
+	}
+}
+
+func TestRenderFigureAndSummary(t *testing.T) {
+	res, err := RunQuality(smallQualityConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	res.RenderFigure(&b, MetricCost, "Fig. 4")
+	if !strings.Contains(b.String(), "Fig. 4") || !strings.Contains(b.String(), "MinCost") {
+		t.Errorf("figure rendering incomplete: %q", b.String())
+	}
+	b.Reset()
+	res.RenderSummary(&b)
+	out := b.String()
+	for _, name := range AlgoNames {
+		if !strings.Contains(out, name) {
+			t.Errorf("summary missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "CSA/cost") {
+		t.Error("summary missing CSA rows")
+	}
+}
+
+func smallTimingConfig(cycles int) TimingConfig {
+	cfg := DefaultTimingConfig()
+	cfg.Cycles = cycles
+	cfg.NodeCounts = []int{20, 40}
+	cfg.Horizons = []float64{300, 600}
+	return cfg
+}
+
+func TestRunNodeSweep(t *testing.T) {
+	res, err := RunNodeSweep(smallTimingConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	p20, p40 := res.Points[0], res.Points[1]
+	if p20.Param != 20 || p40.Param != 40 {
+		t.Fatalf("sweep params %g, %g", p20.Param, p40.Param)
+	}
+	if p40.SlotCount.Mean() <= p20.SlotCount.Mean() {
+		t.Error("slot count did not grow with node count")
+	}
+	if p40.CSAAlternatives.Mean() <= p20.CSAAlternatives.Mean() {
+		t.Error("CSA alternatives did not grow with node count")
+	}
+	for _, name := range TimedAlgoNames {
+		acc, ok := p20.AlgoSeconds[name]
+		if !ok || acc.Count() != 5 {
+			t.Errorf("%s timing missing or incomplete", name)
+		}
+	}
+	if p20.CSAPerAlternative() <= 0 {
+		t.Error("CSA per-alternative time not positive")
+	}
+}
+
+func TestRunIntervalSweep(t *testing.T) {
+	res, err := RunIntervalSweep(smallTimingConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	if res.Points[1].SlotCount.Mean() <= res.Points[0].SlotCount.Mean() {
+		t.Error("slot count did not grow with interval length")
+	}
+	var b strings.Builder
+	res.RenderTable(&b, "Table 2")
+	out := b.String()
+	if !strings.Contains(out, "Number of slots") || !strings.Contains(out, "CSA per Alt") {
+		t.Errorf("table rendering incomplete: %q", out)
+	}
+	b.Reset()
+	res.RenderCurves(&b, "Fig. 6", true)
+	if !strings.Contains(b.String(), "CSA") {
+		t.Error("curves with CSA missing the CSA series")
+	}
+	b.Reset()
+	res.RenderCurves(&b, "Fig. 5", false)
+	if strings.Contains(b.String(), "CSA working time") {
+		t.Error("curves without CSA still render the CSA series")
+	}
+}
+
+func TestTimingRejectsBadCycles(t *testing.T) {
+	cfg := smallTimingConfig(0)
+	if _, err := RunNodeSweep(cfg); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}
+
+func TestPricingAblationShape(t *testing.T) {
+	cfg := DefaultAblationConfig()
+	cfg.Cycles = 60
+	cfg.Env.Nodes.Count = 40
+	results, err := RunPricingAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d ablation groups", len(results))
+	}
+	// Under linear pricing (degree 1) the budget no longer excludes fast
+	// nodes, so MinRunTime achieves a strictly better runtime than under
+	// the market-premium model.
+	minRun := results[0]
+	if len(minRun.Rows) != 2 {
+		t.Fatalf("%d rows", len(minRun.Rows))
+	}
+	deg1, deg2 := minRun.Rows[0], minRun.Rows[1]
+	if deg1.Runtime.Mean() >= deg2.Runtime.Mean() {
+		t.Errorf("linear pricing runtime %g not below premium pricing %g",
+			deg1.Runtime.Mean(), deg2.Runtime.Mean())
+	}
+}
+
+func TestBudgetCheckAblation(t *testing.T) {
+	cfg := DefaultAblationConfig()
+	cfg.Cycles = 60
+	cfg.Env.Nodes.Count = 40
+	res, err := RunBudgetCheckAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	corrected, literal := res.Rows[0], res.Rows[1]
+	// The literal check is stricter, so it can only do worse (higher
+	// runtime) on average.
+	if corrected.Runtime.Mean() > literal.Runtime.Mean()+1e-9 {
+		t.Errorf("corrected budget check runtime %g above literal %g",
+			corrected.Runtime.Mean(), literal.Runtime.Mean())
+	}
+}
+
+func TestGreedyVsExactAblation(t *testing.T) {
+	cfg := DefaultAblationConfig()
+	cfg.Cycles = 60
+	cfg.Env.Nodes.Count = 40
+	results, err := RunGreedyVsExactAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d groups", len(results))
+	}
+	greedy, exact := results[0].Rows[0], results[0].Rows[1]
+	if exact.Runtime.Mean() > greedy.Runtime.Mean()+1e-9 {
+		t.Errorf("exact MinRunTime %g above greedy %g", exact.Runtime.Mean(), greedy.Runtime.Mean())
+	}
+	var b strings.Builder
+	RenderAblation(&b, results[0])
+	if !strings.Contains(b.String(), "MinRunTime") {
+		t.Error("ablation rendering incomplete")
+	}
+}

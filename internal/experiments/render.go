@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"slotsel/internal/tablefmt"
+)
+
+// RenderFigure writes one quality figure (bar chart plus numeric table) to w.
+func (r *QualityResult) RenderFigure(w io.Writer, m FigureMetric, paperLabel string) {
+	chart := tablefmt.NewBarChart(fmt.Sprintf("%s — %s (cycles=%d)", paperLabel, m, r.Config.Cycles), "")
+	for _, v := range r.Figure(m) {
+		chart.Add(v.Algorithm, v.Mean)
+	}
+	chart.Render(w)
+	t := tablefmt.New("algorithm", "mean", "stddev", "found")
+	for _, v := range r.Figure(m) {
+		t.AddRow(v.Algorithm, fmt.Sprintf("%.1f", v.Mean), fmt.Sprintf("%.1f", v.StdDev), fmt.Sprintf("%d", v.Count))
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// RenderSummary writes the per-algorithm aggregates across all metrics plus
+// the CSA statistics to w.
+func (r *QualityResult) RenderSummary(w io.Writer) {
+	fmt.Fprintf(w, "quality study: %d cycles, %d nodes, interval [0,%.0f), job n=%d vol=%g S=%g\n",
+		r.Config.Cycles, r.Config.Env.Nodes.Count, r.Config.Env.Horizon,
+		r.Config.Request.TaskCount, r.Config.Request.Volume, r.Config.Request.MaxCost)
+	fmt.Fprintf(w, "CSA average alternatives per cycle: %.1f (missed cycles: %d)\n\n",
+		r.CSA.Alternatives.Mean(), r.CSA.Missed)
+	t := tablefmt.New("algorithm", "start", "runtime", "finish", "cpu-time", "cost", "found", "missed")
+	addRow := func(s *WindowStats) {
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.1f", s.Start.Mean()),
+			fmt.Sprintf("%.1f", s.Runtime.Mean()),
+			fmt.Sprintf("%.1f", s.Finish.Mean()),
+			fmt.Sprintf("%.1f", s.ProcTime.Mean()),
+			fmt.Sprintf("%.1f", s.Cost.Mean()),
+			fmt.Sprintf("%d", s.Found),
+			fmt.Sprintf("%d", s.Missed))
+	}
+	for _, s := range r.Algos {
+		addRow(s)
+	}
+	for _, c := range AllCriteria {
+		addRow(r.CSA.BestWindows[c])
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// RenderTable writes a timing sweep in the layout of the paper's Tables 1-2:
+// one column per sweep value, rows for slot counts, CSA alternative counts,
+// CSA per-alternative time and per-algorithm times (in milliseconds).
+func (r *TimingResult) RenderTable(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s (cycles per point: %d)\n", title, r.Config.Cycles)
+	header := []string{r.SweepLabel + ":"}
+	for _, p := range r.Points {
+		header = append(header, fmt.Sprintf("%.0f", p.Param))
+	}
+	t := tablefmt.New(header...)
+
+	row := func(label string, f func(p *TimingPoint) float64, verb string) {
+		cells := []string{label}
+		for _, p := range r.Points {
+			cells = append(cells, fmt.Sprintf(verb, f(p)))
+		}
+		t.AddRow(cells...)
+	}
+	row("Number of slots", func(p *TimingPoint) float64 { return p.SlotCount.Mean() }, "%.1f")
+	row("CSA: Alternatives Num", func(p *TimingPoint) float64 { return p.CSAAlternatives.Mean() }, "%.1f")
+	row("CSA per Alt (ms)", func(p *TimingPoint) float64 { return p.CSAPerAlternative() * 1e3 }, "%.4f")
+	for _, name := range TimedAlgoNames {
+		name := name
+		row(name+" (ms)", func(p *TimingPoint) float64 { return p.AlgoSeconds[name].Mean() * 1e3 }, "%.4f")
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}
+
+// RenderCurves writes the Fig. 5 / Fig. 6 view of a timing sweep: one ASCII
+// bar series per algorithm across the sweep values.
+func (r *TimingResult) RenderCurves(w io.Writer, title string, includeCSA bool) {
+	fmt.Fprintln(w, title)
+	for _, name := range TimedAlgoNames {
+		if name == "CSA" && !includeCSA {
+			// The paper's Fig. 5 omits the CSA curve: its working time is
+			// incomparably longer than the AEP-like algorithms'.
+			continue
+		}
+		chart := tablefmt.NewBarChart(fmt.Sprintf("  %s working time (ms) vs %s", name, r.SweepLabel), " ms")
+		for _, p := range r.Points {
+			chart.Add(fmt.Sprintf("%.0f", p.Param), p.AlgoSeconds[name].Mean()*1e3)
+		}
+		chart.Render(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAblation writes one ablation study to w.
+func RenderAblation(w io.Writer, res *AblationResult) {
+	fmt.Fprintln(w, res.Title)
+	t := tablefmt.New("variant", "runtime", "cost", "start", "found", "missed")
+	for _, row := range res.Rows {
+		t.AddRow(row.Variant,
+			fmt.Sprintf("%.2f", row.Runtime.Mean()),
+			fmt.Sprintf("%.1f", row.Cost.Mean()),
+			fmt.Sprintf("%.1f", row.Start.Mean()),
+			fmt.Sprintf("%d", row.Found),
+			fmt.Sprintf("%d", row.Missed))
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"io"
+
+	"slotsel/internal/svgplot"
+)
+
+// WriteFigureSVG renders one quality figure as an SVG bar chart.
+func (r *QualityResult) WriteFigureSVG(w io.Writer, m FigureMetric, paperLabel string) error {
+	bars := make([]svgplot.Bar, 0, len(AlgoNames)+1)
+	for _, v := range r.Figure(m) {
+		bars = append(bars, svgplot.Bar{Label: v.Algorithm, Value: v.Mean})
+	}
+	return svgplot.WriteBarChart(w, paperLabel+" — "+m.String(), m.String(), bars)
+}
+
+// WriteCurvesSVG renders a timing sweep as an SVG line chart of working
+// time (ms) per algorithm; includeCSA mirrors the paper's Fig. 5, which
+// omits the CSA curve because it dwarfs the others.
+func (r *TimingResult) WriteCurvesSVG(w io.Writer, title string, includeCSA bool) error {
+	var series []svgplot.Series
+	for _, name := range TimedAlgoNames {
+		if name == "CSA" && !includeCSA {
+			continue
+		}
+		s := svgplot.Series{Name: name}
+		for _, p := range r.Points {
+			s.X = append(s.X, p.Param)
+			s.Y = append(s.Y, p.AlgoSeconds[name].Mean()*1e3)
+		}
+		series = append(series, s)
+	}
+	return svgplot.WriteLineChart(w, title, r.SweepLabel, "working time (ms)", series)
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"slotsel/internal/core"
+	"slotsel/internal/env"
+	"slotsel/internal/job"
+	"slotsel/internal/metrics"
+	"slotsel/internal/randx"
+	"slotsel/internal/tablefmt"
+)
+
+// The extension sweeps: experiments beyond the paper's figures that probe
+// the design space its discussion opens — how the algorithms scale with the
+// job's parallelism (task count) and how the user budget trades cost against
+// runtime (the economic-scheduling frontier).
+
+// SweepConfig parametrizes the extension sweeps.
+type SweepConfig struct {
+	Cycles  int
+	Seed    uint64
+	Env     env.Config
+	Request job.Request
+
+	// TaskCounts is the parallelism sweep (default 2..10).
+	TaskCounts []int
+
+	// Budgets is the budget-frontier sweep, as absolute cost limits.
+	Budgets []float64
+}
+
+// DefaultSweepConfig returns the extension-sweep setup: the §3.1 base
+// workload with task counts 2..10 and budgets from starvation to generous.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Cycles:     500,
+		Seed:       1,
+		Env:        env.DefaultConfig(),
+		Request:    job.DefaultRequest(),
+		TaskCounts: []int{2, 3, 4, 5, 6, 7, 8, 9, 10},
+		Budgets:    []float64{800, 1000, 1200, 1500, 2000, 2500, 3000, 4000},
+	}
+}
+
+// SweepPoint aggregates one sweep value for one algorithm.
+type SweepPoint struct {
+	Param   float64
+	Found   int
+	Missed  int
+	Start   metrics.Accumulator
+	Runtime metrics.Accumulator
+	Finish  metrics.Accumulator
+	Cost    metrics.Accumulator
+}
+
+// SweepResult is one algorithm's curve over the sweep.
+type SweepResult struct {
+	Algorithm string
+	Points    []*SweepPoint
+}
+
+// RunTaskCountSweep measures how window quality and feasibility react to
+// the job's parallelism n. The budget scales linearly with n (the paper's
+// S = F*t*n formula), isolating the co-allocation pressure itself.
+func RunTaskCountSweep(cfg SweepConfig) ([]*SweepResult, error) {
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("experiments: sweep needs positive cycles")
+	}
+	perTaskBudget := cfg.Request.MaxCost / float64(cfg.Request.TaskCount)
+	algs := []core.Algorithm{core.AMP{}, core.MinCost{}, core.MinRunTime{}, core.MinFinish{}}
+	results := make([]*SweepResult, len(algs))
+	for i, a := range algs {
+		results[i] = &SweepResult{Algorithm: a.Name()}
+	}
+	for _, n := range cfg.TaskCounts {
+		points := make([]*SweepPoint, len(algs))
+		for i := range points {
+			points[i] = &SweepPoint{Param: float64(n)}
+			results[i].Points = append(results[i].Points, points[i])
+		}
+		rng := randx.New(cfg.Seed ^ uint64(n)*0x9e3779b9)
+		for cycle := 0; cycle < cfg.Cycles; cycle++ {
+			e := env.Generate(cfg.Env, rng)
+			req := cfg.Request
+			req.TaskCount = n
+			req.MaxCost = perTaskBudget * float64(n)
+			for i, a := range algs {
+				w, err := a.Find(e.Slots, &req)
+				if errors.Is(err, core.ErrNoWindow) {
+					points[i].Missed++
+					continue
+				}
+				if err != nil {
+					return nil, fmt.Errorf("experiments: task sweep %s: %w", a.Name(), err)
+				}
+				points[i].Found++
+				points[i].Start.Add(w.Start)
+				points[i].Runtime.Add(w.Runtime)
+				points[i].Finish.Add(w.Finish())
+				points[i].Cost.Add(w.Cost)
+			}
+		}
+	}
+	return results, nil
+}
+
+// RunBudgetFrontier measures the cost-runtime frontier: for each budget
+// level, the runtime MinRunTime can buy and the cost MinCost pays. It
+// quantifies the economic trade-off the paper's §3.3 discussion describes
+// (MinFinish spending nearly the whole budget vs MinCost's 43% saving).
+func RunBudgetFrontier(cfg SweepConfig) ([]*SweepResult, error) {
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("experiments: sweep needs positive cycles")
+	}
+	algs := []core.Algorithm{core.MinRunTime{}, core.MinCost{}, core.MinFinish{}}
+	results := make([]*SweepResult, len(algs))
+	for i, a := range algs {
+		results[i] = &SweepResult{Algorithm: a.Name()}
+	}
+	for _, budget := range cfg.Budgets {
+		points := make([]*SweepPoint, len(algs))
+		for i := range points {
+			points[i] = &SweepPoint{Param: budget}
+			results[i].Points = append(results[i].Points, points[i])
+		}
+		rng := randx.New(cfg.Seed ^ uint64(budget)*0x85ebca6b)
+		for cycle := 0; cycle < cfg.Cycles; cycle++ {
+			e := env.Generate(cfg.Env, rng)
+			req := cfg.Request
+			req.MaxCost = budget
+			for i, a := range algs {
+				w, err := a.Find(e.Slots, &req)
+				if errors.Is(err, core.ErrNoWindow) {
+					points[i].Missed++
+					continue
+				}
+				if err != nil {
+					return nil, fmt.Errorf("experiments: budget sweep %s: %w", a.Name(), err)
+				}
+				points[i].Found++
+				points[i].Start.Add(w.Start)
+				points[i].Runtime.Add(w.Runtime)
+				points[i].Finish.Add(w.Finish())
+				points[i].Cost.Add(w.Cost)
+			}
+		}
+	}
+	return results, nil
+}
+
+// RunHeterogeneitySweep measures the effect of resource heterogeneity: the
+// node performance range widens from homogeneous (all perf = 6) to the full
+// §3.1 spread [2, 10] while the mean stays fixed. The paper claims its
+// algorithms serve "both homogeneous and heterogeneous resources"; this
+// sweep quantifies what heterogeneity does to each criterion.
+func RunHeterogeneitySweep(cfg SweepConfig) ([]*SweepResult, error) {
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("experiments: sweep needs positive cycles")
+	}
+	algs := []core.Algorithm{core.AMP{}, core.MinCost{}, core.MinRunTime{}, core.MinFinish{}}
+	results := make([]*SweepResult, len(algs))
+	for i, a := range algs {
+		results[i] = &SweepResult{Algorithm: a.Name()}
+	}
+	// Half-widths 0..4 around the mean performance 6.
+	for _, halfWidth := range []int{0, 1, 2, 3, 4} {
+		points := make([]*SweepPoint, len(algs))
+		for i := range points {
+			points[i] = &SweepPoint{Param: float64(halfWidth)}
+			results[i].Points = append(results[i].Points, points[i])
+		}
+		envCfg := cfg.Env
+		envCfg.Nodes.PerfMin = 6 - halfWidth
+		envCfg.Nodes.PerfMax = 6 + halfWidth
+		rng := randx.New(cfg.Seed ^ uint64(halfWidth+1)*0xc2b2ae35)
+		for cycle := 0; cycle < cfg.Cycles; cycle++ {
+			e := env.Generate(envCfg, rng)
+			req := cfg.Request
+			for i, a := range algs {
+				w, err := a.Find(e.Slots, &req)
+				if errors.Is(err, core.ErrNoWindow) {
+					points[i].Missed++
+					continue
+				}
+				if err != nil {
+					return nil, fmt.Errorf("experiments: heterogeneity sweep %s: %w", a.Name(), err)
+				}
+				points[i].Found++
+				points[i].Start.Add(w.Start)
+				points[i].Runtime.Add(w.Runtime)
+				points[i].Finish.Add(w.Finish())
+				points[i].Cost.Add(w.Cost)
+			}
+		}
+	}
+	return results, nil
+}
+
+// RunDeadlineSweep measures feasibility and quality under a tightening
+// finish deadline — the "additional restrictions" hook of §2.1. Deadlines
+// sweep from the full interval down to barely above the fastest possible
+// execution; found% collapses as the deadline crosses each algorithm's
+// achievable finish time.
+func RunDeadlineSweep(cfg SweepConfig) ([]*SweepResult, error) {
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("experiments: sweep needs positive cycles")
+	}
+	algs := []core.Algorithm{core.AMP{}, core.MinCost{}, core.MinRunTime{}, core.MinFinish{}}
+	results := make([]*SweepResult, len(algs))
+	for i, a := range algs {
+		results[i] = &SweepResult{Algorithm: a.Name()}
+	}
+	deadlines := []float64{cfg.Env.Horizon, cfg.Env.Horizon / 2, 150, 80, 50, 30, 20}
+	for _, deadline := range deadlines {
+		points := make([]*SweepPoint, len(algs))
+		for i := range points {
+			points[i] = &SweepPoint{Param: deadline}
+			results[i].Points = append(results[i].Points, points[i])
+		}
+		rng := randx.New(cfg.Seed ^ uint64(deadline)*0x27d4eb2f)
+		for cycle := 0; cycle < cfg.Cycles; cycle++ {
+			e := env.Generate(cfg.Env, rng)
+			req := cfg.Request
+			req.Deadline = deadline
+			for i, a := range algs {
+				w, err := a.Find(e.Slots, &req)
+				if errors.Is(err, core.ErrNoWindow) {
+					points[i].Missed++
+					continue
+				}
+				if err != nil {
+					return nil, fmt.Errorf("experiments: deadline sweep %s: %w", a.Name(), err)
+				}
+				points[i].Found++
+				points[i].Start.Add(w.Start)
+				points[i].Runtime.Add(w.Runtime)
+				points[i].Finish.Add(w.Finish())
+				points[i].Cost.Add(w.Cost)
+			}
+		}
+	}
+	return results, nil
+}
+
+// RenderSweep writes sweep curves as a table: one row per sweep value, one
+// column group per algorithm.
+func RenderSweep(w io.Writer, title, paramLabel string, results []*SweepResult, metric func(*SweepPoint) float64, metricLabel string) {
+	fmt.Fprintln(w, title)
+	header := []string{paramLabel}
+	for _, r := range results {
+		header = append(header, r.Algorithm+" "+metricLabel, r.Algorithm+" found%")
+	}
+	t := tablefmt.New(header...)
+	if len(results) == 0 || len(results[0].Points) == 0 {
+		t.Render(w)
+		return
+	}
+	for pi := range results[0].Points {
+		cells := []string{fmt.Sprintf("%.0f", results[0].Points[pi].Param)}
+		for _, r := range results {
+			p := r.Points[pi]
+			total := p.Found + p.Missed
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(p.Found) / float64(total)
+			}
+			cells = append(cells, fmt.Sprintf("%.1f", metric(p)), fmt.Sprintf("%.0f", pct))
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,180 @@
+// Package job models user jobs and their resource requests. A job launch
+// requires the co-allocation of a specified number of slots starting
+// synchronously; the resource request carries the node requirements
+// (performance, RAM, disk, operating system, architecture), the task volume,
+// and the limitation on the total window allocation cost.
+package job
+
+import (
+	"fmt"
+
+	"slotsel/internal/nodes"
+)
+
+// Request is a resource request for one parallel job.
+type Request struct {
+	// TaskCount is the number n of concurrent slots (tasks) to co-allocate.
+	TaskCount int
+
+	// Volume is the computational volume of each task. A task executes on a
+	// node of performance p in Volume/p time units, which is why a window
+	// over heterogeneous resources has a "rough right edge".
+	Volume float64
+
+	// MaxCost is the limitation S on the total window allocation cost
+	// (sum over selected slots of exec-time x node price). Zero or negative
+	// means unconstrained.
+	MaxCost float64
+
+	// Deadline, when positive, requires the window to finish no later than
+	// this time (an example of the additional restrictions §2.1 mentions).
+	Deadline float64
+
+	// MinPerf is the minimum acceptable node performance rate. Zero means
+	// no constraint. (The paper folds this into the resource request's
+	// "characteristics of computational nodes".)
+	MinPerf float64
+
+	// MinRAMMB and MinDiskGB are hardware floors; zero means unconstrained.
+	MinRAMMB  int
+	MinDiskGB int
+
+	// OS restricts acceptable operating systems; empty means any.
+	OS []nodes.OS
+
+	// Arch restricts acceptable architectures; empty means any.
+	Arch []nodes.Arch
+}
+
+// Validate reports structural problems with the request.
+func (r *Request) Validate() error {
+	if r.TaskCount <= 0 {
+		return fmt.Errorf("job: request needs a positive task count, got %d", r.TaskCount)
+	}
+	if r.Volume <= 0 {
+		return fmt.Errorf("job: request needs a positive volume, got %g", r.Volume)
+	}
+	return nil
+}
+
+// Matches implements the properHardwareAndSoftware predicate of the AEP
+// scheme: whether the node satisfies the request's node-level requirements.
+func (r *Request) Matches(n *nodes.Node) bool {
+	if n == nil {
+		return false
+	}
+	if r.MinPerf > 0 && n.Perf < r.MinPerf {
+		return false
+	}
+	if r.MinRAMMB > 0 && n.RAMMB < r.MinRAMMB {
+		return false
+	}
+	if r.MinDiskGB > 0 && n.DiskGB < r.MinDiskGB {
+		return false
+	}
+	if len(r.OS) > 0 && !containsOS(r.OS, n.OS) {
+		return false
+	}
+	if len(r.Arch) > 0 && !containsArch(r.Arch, n.Arch) {
+		return false
+	}
+	return true
+}
+
+func containsOS(set []nodes.OS, v nodes.OS) bool {
+	for _, x := range set {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsArch(set []nodes.Arch, v nodes.Arch) bool {
+	for _, x := range set {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecTime returns the execution time of one task of this request on node n.
+func (r *Request) ExecTime(n *nodes.Node) float64 {
+	return n.ExecTime(r.Volume)
+}
+
+// BudgetFromPrice computes the maximal job budget the way the paper does:
+// S = F * t * n, where F is the maximal per-unit resource price the user
+// accepts, t the reservation time and n the slot count.
+func BudgetFromPrice(maxUnitPrice, reservation float64, tasks int) float64 {
+	return maxUnitPrice * reservation * float64(tasks)
+}
+
+// Job is a batch job: a request plus scheduling metadata.
+type Job struct {
+	// ID identifies the job within its batch.
+	ID int
+
+	// Name is an optional human-readable label.
+	Name string
+
+	// Priority orders jobs within a batch; higher priority jobs are
+	// processed first during the batch scheduling cycle.
+	Priority int
+
+	// Request is the job's resource request.
+	Request Request
+}
+
+// String implements fmt.Stringer.
+func (j *Job) String() string {
+	name := j.Name
+	if name == "" {
+		name = fmt.Sprintf("job#%d", j.ID)
+	}
+	return fmt.Sprintf("%s(n=%d vol=%g S=%g prio=%d)",
+		name, j.Request.TaskCount, j.Request.Volume, j.Request.MaxCost, j.Priority)
+}
+
+// Batch is an ordered collection of jobs handled within one scheduling
+// cycle.
+type Batch struct {
+	Jobs []*Job
+}
+
+// Add appends a job to the batch, assigning it the next ID if unset.
+func (b *Batch) Add(j *Job) {
+	if j.ID == 0 && len(b.Jobs) > 0 {
+		j.ID = b.Jobs[len(b.Jobs)-1].ID + 1
+	}
+	b.Jobs = append(b.Jobs, j)
+}
+
+// ByPriority returns the jobs ordered by descending priority (stable for
+// equal priorities: submission order).
+func (b *Batch) ByPriority() []*Job {
+	out := append([]*Job(nil), b.Jobs...)
+	// insertion sort keeps stability without importing sort.SliceStable for
+	// such small batches; batches are tens of jobs.
+	for i := 1; i < len(out); i++ {
+		j := out[i]
+		k := i - 1
+		for k >= 0 && out[k].Priority < j.Priority {
+			out[k+1] = out[k]
+			k--
+		}
+		out[k+1] = j
+	}
+	return out
+}
+
+// DefaultRequest returns the base job of the paper's experiments: 5 parallel
+// slots of volume 150 with the total cost limited to 1500.
+func DefaultRequest() Request {
+	return Request{
+		TaskCount: 5,
+		Volume:    150,
+		MaxCost:   1500,
+	}
+}

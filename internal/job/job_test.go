@@ -1,0 +1,153 @@
+package job
+
+import (
+	"testing"
+
+	"slotsel/internal/nodes"
+)
+
+func testNode() *nodes.Node {
+	return &nodes.Node{
+		ID: 1, Perf: 5, Price: 2,
+		RAMMB: 4096, DiskGB: 250,
+		OS: nodes.Linux, Arch: nodes.AMD64,
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	good := Request{TaskCount: 3, Volume: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Request{
+		{TaskCount: 0, Volume: 100},
+		{TaskCount: -1, Volume: 100},
+		{TaskCount: 3, Volume: 0},
+		{TaskCount: 3, Volume: -5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("request %+v passed validation", bad)
+		}
+	}
+}
+
+func TestMatchesUnconstrained(t *testing.T) {
+	r := Request{TaskCount: 1, Volume: 10}
+	if !r.Matches(testNode()) {
+		t.Fatal("unconstrained request rejected a node")
+	}
+	if r.Matches(nil) {
+		t.Fatal("nil node matched")
+	}
+}
+
+func TestMatchesPerf(t *testing.T) {
+	r := Request{TaskCount: 1, Volume: 10, MinPerf: 5}
+	if !r.Matches(testNode()) {
+		t.Error("perf 5 should satisfy MinPerf 5")
+	}
+	r.MinPerf = 6
+	if r.Matches(testNode()) {
+		t.Error("perf 5 should not satisfy MinPerf 6")
+	}
+}
+
+func TestMatchesHardware(t *testing.T) {
+	n := testNode()
+	cases := []struct {
+		name string
+		req  Request
+		want bool
+	}{
+		{"ram ok", Request{MinRAMMB: 4096}, true},
+		{"ram too small", Request{MinRAMMB: 8192}, false},
+		{"disk ok", Request{MinDiskGB: 250}, true},
+		{"disk too small", Request{MinDiskGB: 500}, false},
+		{"os ok", Request{OS: []nodes.OS{nodes.Windows, nodes.Linux}}, true},
+		{"os wrong", Request{OS: []nodes.OS{nodes.Windows}}, false},
+		{"arch ok", Request{Arch: []nodes.Arch{nodes.AMD64}}, true},
+		{"arch wrong", Request{Arch: []nodes.Arch{nodes.ARM64}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.req.Matches(n); got != tc.want {
+				t.Errorf("Matches = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExecTime(t *testing.T) {
+	r := Request{TaskCount: 1, Volume: 150}
+	if got := r.ExecTime(testNode()); got != 30 {
+		t.Errorf("ExecTime = %g, want 30", got)
+	}
+}
+
+func TestBudgetFromPrice(t *testing.T) {
+	// The paper's formula S = F x t x n: F=2, t=150, n=5 -> 1500.
+	if got := BudgetFromPrice(2, 150, 5); got != 1500 {
+		t.Errorf("BudgetFromPrice = %g, want 1500", got)
+	}
+}
+
+func TestDefaultRequestMatchesPaper(t *testing.T) {
+	r := DefaultRequest()
+	if r.TaskCount != 5 || r.Volume != 150 || r.MaxCost != 1500 {
+		t.Errorf("default request %+v does not match §3.1", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchAddAssignsIDs(t *testing.T) {
+	b := &Batch{}
+	b.Add(&Job{ID: 5})
+	b.Add(&Job{}) // gets ID 6
+	if b.Jobs[1].ID != 6 {
+		t.Errorf("auto ID = %d, want 6", b.Jobs[1].ID)
+	}
+}
+
+func TestByPriorityOrdersDescending(t *testing.T) {
+	b := &Batch{}
+	b.Add(&Job{ID: 1, Priority: 1})
+	b.Add(&Job{ID: 2, Priority: 3})
+	b.Add(&Job{ID: 3, Priority: 2})
+	got := b.ByPriority()
+	want := []int{2, 3, 1}
+	for i, j := range got {
+		if j.ID != want[i] {
+			t.Fatalf("order %v, want IDs %v", got, want)
+		}
+	}
+	// The original batch order must be untouched.
+	if b.Jobs[0].ID != 1 {
+		t.Error("ByPriority mutated the batch")
+	}
+}
+
+func TestByPriorityStable(t *testing.T) {
+	b := &Batch{}
+	b.Add(&Job{ID: 1, Priority: 2})
+	b.Add(&Job{ID: 2, Priority: 2})
+	b.Add(&Job{ID: 3, Priority: 2})
+	got := b.ByPriority()
+	for i, j := range got {
+		if j.ID != i+1 {
+			t.Fatalf("equal priorities reordered: %v", got)
+		}
+	}
+}
+
+func TestJobString(t *testing.T) {
+	j := &Job{ID: 4, Request: Request{TaskCount: 2, Volume: 10, MaxCost: 100}}
+	if j.String() == "" {
+		t.Error("empty String()")
+	}
+	j.Name = "render"
+	if j.String() == "" {
+		t.Error("empty String() with name")
+	}
+}

@@ -1,0 +1,133 @@
+// Package load models the non-dedicated nature of the resources: every node
+// carries an initial load of local and high-priority jobs that occupy parts
+// of the scheduling interval before any broker job can be placed.
+//
+// Following §3.1 of the paper, the per-node utilization level is drawn from
+// a hypergeometric distribution rescaled into [10%, 50%], and the occupying
+// local tasks have a minimum length of 10 time units.
+package load
+
+import (
+	"slotsel/internal/randx"
+	"slotsel/internal/slots"
+)
+
+// Config parametrizes the initial-load generator.
+type Config struct {
+	// MinUtilization and MaxUtilization bound the per-node initial load
+	// fraction (paper: 0.10 and 0.50).
+	MinUtilization, MaxUtilization float64
+
+	// HGPopulation, HGSuccesses and HGDraws are the hypergeometric
+	// parameters; the sample k in [0, HGDraws] is rescaled linearly into
+	// the utilization range. The paper gives only the distribution family
+	// and range; the defaults produce a bell-shaped spread over it.
+	HGPopulation, HGSuccesses, HGDraws int
+
+	// MinTaskLen is the minimum local task length (paper: 10).
+	MinTaskLen float64
+
+	// MaxTaskLen is the maximum local task length. Local tasks are drawn
+	// uniformly in [MinTaskLen, MaxTaskLen].
+	MaxTaskLen float64
+
+	// MaxPlacementTries bounds the rejection sampling per task placement.
+	MaxPlacementTries int
+}
+
+// DefaultConfig returns the §3.1 load model.
+func DefaultConfig() Config {
+	return Config{
+		MinUtilization:    0.10,
+		MaxUtilization:    0.50,
+		HGPopulation:      40,
+		HGSuccesses:       20,
+		HGDraws:           20,
+		MinTaskLen:        10,
+		MaxTaskLen:        60,
+		MaxPlacementTries: 64,
+	}
+}
+
+// Utilization draws a target utilization fraction for one node.
+func (c Config) Utilization(rng *randx.Rand) float64 {
+	lo, hi := c.MinUtilization, c.MaxUtilization
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if c.HGDraws <= 0 || c.HGPopulation <= 0 {
+		return rng.FloatRange(lo, hi)
+	}
+	k := rng.Hypergeometric(c.HGPopulation, c.HGSuccesses, c.HGDraws)
+	frac := float64(k) / float64(c.HGDraws)
+	return lo + (hi-lo)*frac
+}
+
+// BusyIntervals generates the local-job busy intervals for one node over the
+// scheduling interval [0, horizon). Local tasks of length U[MinTaskLen,
+// MaxTaskLen] are placed at uniformly random non-overlapping offsets until
+// the target utilization is reached (or placement stops making progress).
+// The returned intervals are merged and sorted.
+func (c Config) BusyIntervals(horizon float64, rng *randx.Rand) []slots.Interval {
+	if horizon <= 0 {
+		return nil
+	}
+	target := c.Utilization(rng) * horizon
+	minLen := c.MinTaskLen
+	if minLen <= 0 {
+		minLen = 10
+	}
+	maxLen := c.MaxTaskLen
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	tries := c.MaxPlacementTries
+	if tries <= 0 {
+		tries = 64
+	}
+
+	var busy []slots.Interval
+	occupied := 0.0
+	for occupied < target {
+		want := rng.FloatRange(minLen, maxLen)
+		if remaining := target - occupied; want > remaining {
+			// Trim the final task so the realized load tracks the target,
+			// but never below the minimum local task length.
+			if remaining < minLen {
+				want = minLen
+			} else {
+				want = remaining
+			}
+		}
+		if want > horizon {
+			break
+		}
+		placed := false
+		for t := 0; t < tries; t++ {
+			start := rng.Float64() * (horizon - want)
+			iv := slots.Interval{Start: start, End: start + want}
+			if overlapsAny(iv, busy) {
+				continue
+			}
+			busy = append(busy, iv)
+			occupied += want
+			placed = true
+			break
+		}
+		if !placed {
+			// The timeline is too fragmented to reach the target; stop
+			// rather than loop forever.
+			break
+		}
+	}
+	return slots.MergeIntervals(busy)
+}
+
+func overlapsAny(iv slots.Interval, busy []slots.Interval) bool {
+	for _, b := range busy {
+		if iv.Overlaps(b) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package load
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slotsel/internal/randx"
+	"slotsel/internal/slots"
+)
+
+func TestUtilizationRange(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := randx.New(1)
+	for i := 0; i < 5000; i++ {
+		u := cfg.Utilization(rng)
+		if u < cfg.MinUtilization-1e-9 || u > cfg.MaxUtilization+1e-9 {
+			t.Fatalf("utilization %g outside [%g, %g]", u, cfg.MinUtilization, cfg.MaxUtilization)
+		}
+	}
+}
+
+func TestUtilizationMeanCentered(t *testing.T) {
+	// HG(40,20,20)/20 is symmetric around 0.5, so the rescaled mean should
+	// sit near the middle of [0.10, 0.50].
+	cfg := DefaultConfig()
+	rng := randx.New(2)
+	sum := 0.0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += cfg.Utilization(rng)
+	}
+	mean := sum / trials
+	if mean < 0.28 || mean > 0.32 {
+		t.Errorf("mean utilization %g, want ~0.30", mean)
+	}
+}
+
+func TestUtilizationFallbackWithoutHG(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HGDraws = 0
+	rng := randx.New(3)
+	for i := 0; i < 1000; i++ {
+		u := cfg.Utilization(rng)
+		if u < cfg.MinUtilization || u > cfg.MaxUtilization {
+			t.Fatalf("fallback utilization %g out of range", u)
+		}
+	}
+}
+
+func TestBusyIntervalsWithinHorizon(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := randx.New(4)
+	for i := 0; i < 200; i++ {
+		busy := cfg.BusyIntervals(600, rng)
+		for _, iv := range busy {
+			if iv.Start < 0 || iv.End > 600 {
+				t.Fatalf("busy interval %v outside [0,600]", iv)
+			}
+			if iv.Length() <= 0 {
+				t.Fatalf("empty busy interval %v", iv)
+			}
+		}
+		// Merged output must be sorted and disjoint.
+		for j := 1; j < len(busy); j++ {
+			if busy[j-1].End > busy[j].Start {
+				t.Fatalf("busy intervals overlap: %v", busy)
+			}
+		}
+	}
+}
+
+func TestBusyIntervalsLoadNearTarget(t *testing.T) {
+	// Across many nodes the average realized load must fall in the
+	// configured band (placement can stop early on fragmentation, so allow
+	// slack below; trimming keeps it from overshooting much above).
+	cfg := DefaultConfig()
+	rng := randx.New(5)
+	total := 0.0
+	const trials, horizon = 500, 600.0
+	for i := 0; i < trials; i++ {
+		for _, iv := range cfg.BusyIntervals(horizon, rng) {
+			total += iv.Length()
+		}
+	}
+	avg := total / trials / horizon
+	if avg < 0.20 || avg > 0.40 {
+		t.Errorf("average realized load %g, want around 0.30", avg)
+	}
+}
+
+func TestBusyIntervalsRespectMinTaskLen(t *testing.T) {
+	// Single (unmerged) tasks are at least MinTaskLen long; merged runs can
+	// only be longer, so every busy interval is >= MinTaskLen.
+	cfg := DefaultConfig()
+	rng := randx.New(6)
+	for i := 0; i < 200; i++ {
+		for _, iv := range cfg.BusyIntervals(600, rng) {
+			if iv.Length() < cfg.MinTaskLen-1e-9 {
+				t.Fatalf("busy interval %v shorter than MinTaskLen %g", iv, cfg.MinTaskLen)
+			}
+		}
+	}
+}
+
+func TestBusyIntervalsZeroHorizon(t *testing.T) {
+	cfg := DefaultConfig()
+	if busy := cfg.BusyIntervals(0, randx.New(1)); busy != nil {
+		t.Fatalf("zero horizon produced %v", busy)
+	}
+}
+
+func TestBusyIntervalsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := cfg.BusyIntervals(600, randx.New(7))
+	b := cfg.BusyIntervals(600, randx.New(7))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interval %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBusyIntervalsProperty(t *testing.T) {
+	check := func(seed uint64, horizonRaw uint16) bool {
+		horizon := float64(horizonRaw%3000) + 100
+		cfg := DefaultConfig()
+		rng := randx.New(seed)
+		busy := cfg.BusyIntervals(horizon, rng)
+		merged := slots.MergeIntervals(busy)
+		if len(merged) != len(busy) {
+			return false // output must already be merged
+		}
+		load := 0.0
+		for _, iv := range busy {
+			if iv.Start < 0 || iv.End > horizon {
+				return false
+			}
+			load += iv.Length()
+		}
+		// Hard upper bound: target max 50% plus one trimmed task.
+		return load <= 0.5*horizon+cfg.MaxTaskLen
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

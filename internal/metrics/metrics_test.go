@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slotsel/internal/randx"
+)
+
+func naiveStats(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, ss / float64(len(xs)-1)
+}
+
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		rng := randx.New(seed)
+		n := int(nRaw%100) + 1
+		xs := make([]float64, n)
+		var acc Accumulator
+		for i := range xs {
+			xs[i] = rng.FloatRange(-100, 100)
+			acc.Add(xs[i])
+		}
+		mean, variance := naiveStats(xs)
+		return math.Abs(acc.Mean()-mean) < 1e-9 &&
+			math.Abs(acc.Variance()-variance) < 1e-6 &&
+			acc.Count() == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorMinMax(t *testing.T) {
+	var acc Accumulator
+	for _, x := range []float64{3, -1, 7, 2} {
+		acc.Add(x)
+	}
+	if acc.Min() != -1 || acc.Max() != 7 {
+		t.Errorf("min/max = %g/%g", acc.Min(), acc.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.Mean() != 0 || acc.StdDev() != 0 || acc.Count() != 0 {
+		t.Error("empty accumulator not zero")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var acc Accumulator
+	acc.Add(5)
+	if acc.Mean() != 5 || acc.Variance() != 0 || acc.Min() != 5 || acc.Max() != 5 {
+		t.Errorf("single-observation stats wrong: %v", acc.Summary())
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	check := func(seed uint64, nA, nB uint8) bool {
+		rng := randx.New(seed)
+		var a, b, all Accumulator
+		for i := 0; i < int(nA%50); i++ {
+			x := rng.FloatRange(-10, 10)
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nB%50)+1; i++ {
+			x := rng.FloatRange(-10, 10)
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.Count() == all.Count() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(3)
+	before := a.Summary()
+	a.Merge(&b)
+	if a.Summary() != before {
+		t.Error("merging an empty accumulator changed stats")
+	}
+	b.Merge(&a)
+	if b.Summary() != before {
+		t.Error("merging into an empty accumulator lost stats")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var acc Accumulator
+	acc.Add(1)
+	if acc.Summary().String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.25, 25.75}, {0.99, 99.01},
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if s.Median() != 50.5 {
+		t.Errorf("Median = %g", s.Median())
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("Mean = %g", s.Mean())
+	}
+	if s.Count() != 100 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Error("empty sample not zero")
+	}
+}
+
+func TestSampleInterleavedAddQuery(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	if s.Median() != 5 {
+		t.Fatal("median of one element")
+	}
+	s.Add(1) // forces re-sort on next query
+	if s.Quantile(0) != 1 {
+		t.Fatal("re-sort after Add failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket 0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 { // 2
+		t.Errorf("bucket 1 = %d", h.Buckets[1])
+	}
+	if h.Buckets[4] != 1 { // 9.99
+		t.Errorf("bucket 4 = %d", h.Buckets[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

@@ -1,0 +1,228 @@
+// Package persist serializes environments, requests, windows and plans to
+// JSON, so that a scheduling cycle can be snapshotted, inspected, replayed
+// and shared between the CLI tools (cmd/slotgen writes snapshots,
+// cmd/slotfind selects windows on them).
+//
+// The on-disk representation is versioned and independent of the in-memory
+// pointer graph: slots reference nodes by ID.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"slotsel/internal/core"
+	"slotsel/internal/env"
+	"slotsel/internal/job"
+	"slotsel/internal/nodes"
+	"slotsel/internal/slots"
+)
+
+// FormatVersion identifies the snapshot schema. Readers reject snapshots
+// with a different major version.
+const FormatVersion = 1
+
+// nodeJSON mirrors nodes.Node.
+type nodeJSON struct {
+	ID     int     `json:"id"`
+	Perf   float64 `json:"perf"`
+	Price  float64 `json:"price"`
+	RAMMB  int     `json:"ram_mb"`
+	DiskGB int     `json:"disk_gb"`
+	OS     string  `json:"os"`
+	Arch   string  `json:"arch"`
+}
+
+// slotJSON mirrors slots.Slot with a node reference by ID.
+type slotJSON struct {
+	Node  int     `json:"node"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// envJSON is the serialized environment.
+type envJSON struct {
+	Version int        `json:"version"`
+	Horizon float64    `json:"horizon"`
+	Nodes   []nodeJSON `json:"nodes"`
+	Slots   []slotJSON `json:"slots"`
+}
+
+// WriteEnvironment serializes e as indented JSON.
+func WriteEnvironment(w io.Writer, e *env.Environment) error {
+	out := envJSON{Version: FormatVersion, Horizon: e.Horizon}
+	for _, n := range e.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			ID: n.ID, Perf: n.Perf, Price: n.Price,
+			RAMMB: n.RAMMB, DiskGB: n.DiskGB,
+			OS: string(n.OS), Arch: string(n.Arch),
+		})
+	}
+	for _, s := range e.Slots {
+		out.Slots = append(out.Slots, slotJSON{Node: s.Node.ID, Start: s.Start, End: s.End})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadEnvironment deserializes an environment snapshot and re-links slots to
+// nodes. The result is validated before being returned.
+func ReadEnvironment(r io.Reader) (*env.Environment, error) {
+	var in envJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decoding environment: %w", err)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d (want %d)", in.Version, FormatVersion)
+	}
+	e := &env.Environment{Horizon: in.Horizon}
+	byID := make(map[int]*nodes.Node, len(in.Nodes))
+	for _, nj := range in.Nodes {
+		n := &nodes.Node{
+			ID: nj.ID, Perf: nj.Perf, Price: nj.Price,
+			RAMMB: nj.RAMMB, DiskGB: nj.DiskGB,
+			OS: nodes.OS(nj.OS), Arch: nodes.Arch(nj.Arch),
+		}
+		if byID[n.ID] != nil {
+			return nil, fmt.Errorf("persist: duplicate node ID %d", n.ID)
+		}
+		byID[n.ID] = n
+		e.Nodes = append(e.Nodes, n)
+	}
+	for _, sj := range in.Slots {
+		n := byID[sj.Node]
+		if n == nil {
+			return nil, fmt.Errorf("persist: slot references unknown node %d", sj.Node)
+		}
+		e.Slots = append(e.Slots, &slots.Slot{
+			Node:     n,
+			Interval: slots.Interval{Start: sj.Start, End: sj.End},
+		})
+	}
+	e.Slots.SortByStart()
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: invalid snapshot: %w", err)
+	}
+	return e, nil
+}
+
+// requestJSON mirrors job.Request.
+type requestJSON struct {
+	TaskCount int      `json:"tasks"`
+	Volume    float64  `json:"volume"`
+	MaxCost   float64  `json:"max_cost,omitempty"`
+	Deadline  float64  `json:"deadline,omitempty"`
+	MinPerf   float64  `json:"min_perf,omitempty"`
+	MinRAMMB  int      `json:"min_ram_mb,omitempty"`
+	MinDiskGB int      `json:"min_disk_gb,omitempty"`
+	OS        []string `json:"os,omitempty"`
+	Arch      []string `json:"arch,omitempty"`
+}
+
+// WriteRequest serializes a resource request.
+func WriteRequest(w io.Writer, r *job.Request) error {
+	out := requestJSON{
+		TaskCount: r.TaskCount, Volume: r.Volume, MaxCost: r.MaxCost,
+		Deadline: r.Deadline, MinPerf: r.MinPerf,
+		MinRAMMB: r.MinRAMMB, MinDiskGB: r.MinDiskGB,
+	}
+	for _, v := range r.OS {
+		out.OS = append(out.OS, string(v))
+	}
+	for _, v := range r.Arch {
+		out.Arch = append(out.Arch, string(v))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadRequest deserializes and validates a resource request.
+func ReadRequest(r io.Reader) (*job.Request, error) {
+	var in requestJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decoding request: %w", err)
+	}
+	out := &job.Request{
+		TaskCount: in.TaskCount, Volume: in.Volume, MaxCost: in.MaxCost,
+		Deadline: in.Deadline, MinPerf: in.MinPerf,
+		MinRAMMB: in.MinRAMMB, MinDiskGB: in.MinDiskGB,
+	}
+	for _, v := range in.OS {
+		out.OS = append(out.OS, nodes.OS(v))
+	}
+	for _, v := range in.Arch {
+		out.Arch = append(out.Arch, nodes.Arch(v))
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: invalid request: %w", err)
+	}
+	return out, nil
+}
+
+// placementJSON mirrors core.Placement.
+type placementJSON struct {
+	Node  int     `json:"node"`
+	Start float64 `json:"start"`
+	Exec  float64 `json:"exec"`
+	Cost  float64 `json:"cost"`
+}
+
+// windowJSON mirrors core.Window.
+type windowJSON struct {
+	Start      float64         `json:"start"`
+	Runtime    float64         `json:"runtime"`
+	Finish     float64         `json:"finish"`
+	Cost       float64         `json:"cost"`
+	ProcTime   float64         `json:"proc_time"`
+	Placements []placementJSON `json:"placements"`
+}
+
+// WriteWindow serializes a found window (placements reference nodes by ID).
+func WriteWindow(w io.Writer, win *core.Window) error {
+	out := windowJSON{
+		Start: win.Start, Runtime: win.Runtime, Finish: win.Finish(),
+		Cost: win.Cost, ProcTime: win.ProcTime,
+	}
+	for _, p := range win.Placements {
+		out.Placements = append(out.Placements, placementJSON{
+			Node: p.Node().ID, Start: p.Start, Exec: p.Exec, Cost: p.Cost,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadWindow deserializes a window against the given environment: placements
+// are re-linked to the environment's slots (the slot containing the
+// placement's span on the referenced node).
+func ReadWindow(r io.Reader, e *env.Environment) (*core.Window, error) {
+	var in windowJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decoding window: %w", err)
+	}
+	var cands []core.Candidate
+	for _, pj := range in.Placements {
+		slot := findSlot(e, pj.Node, pj.Start, pj.Start+pj.Exec)
+		if slot == nil {
+			return nil, fmt.Errorf("persist: no slot on node %d covering [%g, %g)", pj.Node, pj.Start, pj.Start+pj.Exec)
+		}
+		cands = append(cands, core.Candidate{Slot: slot, Exec: pj.Exec, Cost: pj.Cost})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("persist: window has no placements")
+	}
+	return core.NewWindow(in.Start, cands), nil
+}
+
+func findSlot(e *env.Environment, nodeID int, start, end float64) *slots.Slot {
+	for _, s := range e.Slots {
+		if s.Node.ID == nodeID && s.Start <= start && end <= s.End {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package slots
+
+import (
+	"testing"
+)
+
+// The fuzz targets harden the slot calculus against arbitrary interval
+// inputs; `go test` runs the seed corpus, `go test -fuzz` explores further.
+
+func FuzzMergeIntervals(f *testing.F) {
+	f.Add(0.0, 5.0, 3.0, 8.0, 10.0, 12.0)
+	f.Add(5.0, 5.0, -1.0, 2.0, 2.0, 1.0)
+	f.Add(-10.0, 100.0, 0.0, 0.0, 99.0, 101.0)
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2, c1, c2 float64) {
+		in := []Interval{{a1, a2}, {b1, b2}, {c1, c2}}
+		for _, iv := range in {
+			if iv.Start != iv.Start || iv.End != iv.End { // NaN guard
+				t.Skip()
+			}
+		}
+		out := MergeIntervals(in)
+		for i, iv := range out {
+			if iv.Length() <= 0 {
+				t.Fatalf("merged interval %v has non-positive length", iv)
+			}
+			if i > 0 && out[i-1].End >= iv.Start {
+				t.Fatalf("merged intervals not disjoint: %v", out)
+			}
+		}
+		// Every positive input must be covered.
+		for _, iv := range in {
+			if iv.Length() <= 0 {
+				continue
+			}
+			covered := false
+			for _, ov := range out {
+				if ov.Contains(iv) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("input %v not covered by %v", iv, out)
+			}
+		}
+	})
+}
+
+func FuzzSubtract(f *testing.F) {
+	f.Add(0.0, 100.0, 20.0, 30.0, 5.0)
+	f.Add(0.0, 100.0, -10.0, 200.0, 1.0)
+	f.Add(10.0, 50.0, 50.0, 60.0, 0.0)
+	f.Fuzz(func(t *testing.T, s1, s2, c1, c2, minLen float64) {
+		if s1 != s1 || s2 != s2 || c1 != c1 || c2 != c2 || minLen != minLen {
+			t.Skip()
+		}
+		if s2-s1 <= 0 || s2-s1 > 1e12 {
+			t.Skip()
+		}
+		s := &Slot{Node: node(1), Interval: Interval{s1, s2}}
+		cut := Interval{c1, c2}
+		out := Subtract(s, cut, minLen)
+		for _, piece := range out {
+			if piece.Length() <= 0 {
+				t.Fatalf("piece %v has non-positive length", piece)
+			}
+			if piece.Start < s.Start || piece.End > s.End {
+				t.Fatalf("piece %v outside original %v", piece, s)
+			}
+			if cut.Length() > 0 && piece.Overlaps(cut) && !(len(out) == 1 && out[0] == s) {
+				t.Fatalf("piece %v overlaps the cut %v", piece, cut)
+			}
+		}
+	})
+}
+
+func FuzzFreeSlots(f *testing.F) {
+	f.Add(100.0, 5.0, 10.0, 30.0, 50.0, 70.0)
+	f.Add(600.0, 10.0, -5.0, 20.0, 590.0, 700.0)
+	f.Fuzz(func(t *testing.T, horizon, minLen, b1, b2, b3, b4 float64) {
+		if horizon != horizon || minLen != minLen || b1 != b1 || b2 != b2 || b3 != b3 || b4 != b4 {
+			t.Skip()
+		}
+		if horizon <= 0 || horizon > 1e9 {
+			t.Skip()
+		}
+		busy := []Interval{{b1, b2}, {b3, b4}}
+		free := FreeSlots(node(1), busy, horizon, minLen)
+		if err := List(free).Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range free {
+			if s.Start < 0 || s.End > horizon {
+				t.Fatalf("slot %v outside [0, %g)", s, horizon)
+			}
+			if minLen > 0 && s.Length() < minLen {
+				t.Fatalf("slot %v below min length %g", s, minLen)
+			}
+			for _, b := range busy {
+				if b.Length() > 0 && s.Overlaps(b) {
+					t.Fatalf("free slot %v overlaps busy %v", s, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package slots
+
+import (
+	"fmt"
+	"sort"
+
+	"slotsel/internal/nodes"
+)
+
+// Timetable tracks per-node reservations over an absolute timeline and
+// publishes the remaining free slots for any lookahead window. It is the
+// bookkeeping a local resource manager performs between scheduling cycles:
+// local jobs and accepted broker windows reserve node time; the free
+// complement becomes the next cycle's slot list.
+type Timetable struct {
+	busy map[int][]Interval
+}
+
+// NewTimetable returns an empty timetable.
+func NewTimetable() *Timetable {
+	return &Timetable{busy: make(map[int][]Interval)}
+}
+
+// Reserve marks [iv.Start, iv.End) busy on the node. Overlapping or
+// touching reservations merge. Empty intervals are ignored.
+func (t *Timetable) Reserve(nodeID int, iv Interval) {
+	if iv.Length() <= 0 {
+		return
+	}
+	t.busy[nodeID] = MergeIntervals(append(t.busy[nodeID], iv))
+}
+
+// ReserveAll records a window's used intervals (as produced by
+// core.Window.UsedIntervals).
+func (t *Timetable) ReserveAll(used map[int][]Interval) {
+	for nodeID, ivs := range used {
+		for _, iv := range ivs {
+			t.Reserve(nodeID, iv)
+		}
+	}
+}
+
+// Busy returns the merged busy intervals of a node (nil when idle). The
+// returned slice must not be modified.
+func (t *Timetable) Busy(nodeID int) []Interval {
+	return t.busy[nodeID]
+}
+
+// BusyWithin returns the node's busy time inside [lo, hi).
+func (t *Timetable) BusyWithin(nodeID int, lo, hi float64) float64 {
+	total := 0.0
+	for _, iv := range t.busy[nodeID] {
+		s, e := iv.Start, iv.End
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			total += e - s
+		}
+	}
+	return total
+}
+
+// IsFree reports whether the node is fully free over [iv.Start, iv.End).
+func (t *Timetable) IsFree(nodeID int, iv Interval) bool {
+	for _, b := range t.busy[nodeID] {
+		if b.Overlaps(iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// FreeSlots publishes the free slots of the given nodes over the window
+// [lo, hi), suppressing slots shorter than minLength. The result is sorted
+// by start time — ready for the AEP scan.
+func (t *Timetable) FreeSlots(ns []*nodes.Node, lo, hi, minLength float64) List {
+	var out List
+	for _, n := range ns {
+		cursor := lo
+		emit := func(s, e float64) {
+			if e-s >= minLength && e > s {
+				out = append(out, &Slot{Node: n, Interval: Interval{Start: s, End: e}})
+			}
+		}
+		for _, b := range t.busy[n.ID] {
+			if b.End <= lo || b.Start >= hi {
+				continue
+			}
+			start := b.Start
+			if start < lo {
+				start = lo
+			}
+			if start > cursor {
+				emit(cursor, start)
+			}
+			if b.End > cursor {
+				cursor = b.End
+			}
+		}
+		if cursor < hi {
+			emit(cursor, hi)
+		}
+	}
+	out.SortByStart()
+	return out
+}
+
+// Clone returns an independent copy of the timetable.
+func (t *Timetable) Clone() *Timetable {
+	c := NewTimetable()
+	for id, ivs := range t.busy {
+		c.busy[id] = append([]Interval(nil), ivs...)
+	}
+	return c
+}
+
+// Validate checks the structural invariants: merged (sorted, disjoint,
+// non-touching) positive-length intervals per node.
+func (t *Timetable) Validate() error {
+	for id, ivs := range t.busy {
+		if !sort.SliceIsSorted(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start }) {
+			return fmt.Errorf("slots: timetable node %d intervals unsorted", id)
+		}
+		for i, iv := range ivs {
+			if iv.Length() <= 0 {
+				return fmt.Errorf("slots: timetable node %d has empty interval %v", id, iv)
+			}
+			if i > 0 && ivs[i-1].End >= iv.Start {
+				return fmt.Errorf("slots: timetable node %d has unmerged intervals %v, %v", id, ivs[i-1], iv)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package slots
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slotsel/internal/nodes"
+	"slotsel/internal/randx"
+)
+
+func TestTimetableReserveMerges(t *testing.T) {
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{10, 20})
+	tt.Reserve(1, Interval{20, 30}) // touching: merges
+	tt.Reserve(1, Interval{50, 60})
+	tt.Reserve(1, Interval{0, 0}) // empty: ignored
+	busy := tt.Busy(1)
+	want := []Interval{{10, 30}, {50, 60}}
+	if len(busy) != len(want) {
+		t.Fatalf("got %v", busy)
+	}
+	for i := range want {
+		if busy[i] != want[i] {
+			t.Fatalf("got %v, want %v", busy, want)
+		}
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimetableIsFree(t *testing.T) {
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{10, 20})
+	if !tt.IsFree(1, Interval{0, 10}) {
+		t.Error("touching interval reported busy")
+	}
+	if tt.IsFree(1, Interval{15, 25}) {
+		t.Error("overlapping interval reported free")
+	}
+	if !tt.IsFree(2, Interval{0, 100}) {
+		t.Error("idle node reported busy")
+	}
+}
+
+func TestTimetableBusyWithin(t *testing.T) {
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{10, 30})
+	tt.Reserve(1, Interval{50, 70})
+	if got := tt.BusyWithin(1, 20, 60); got != 20 { // [20,30)+[50,60)
+		t.Errorf("BusyWithin = %g, want 20", got)
+	}
+	if got := tt.BusyWithin(1, 0, 100); got != 40 {
+		t.Errorf("BusyWithin full = %g, want 40", got)
+	}
+	if got := tt.BusyWithin(2, 0, 100); got != 0 {
+		t.Errorf("idle BusyWithin = %g", got)
+	}
+}
+
+func TestTimetableFreeSlots(t *testing.T) {
+	n1 := &nodes.Node{ID: 1, Perf: 4, Price: 1}
+	n2 := &nodes.Node{ID: 2, Perf: 4, Price: 1}
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{120, 150})
+	tt.Reserve(2, Interval{0, 500}) // node 2 fully busy before 500
+
+	list := tt.FreeSlots([]*nodes.Node{n1, n2}, 100, 300, 10)
+	if err := list.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !list.IsSortedByStart() {
+		t.Fatal("free slots unsorted")
+	}
+	// node 1: [100,120) and [150,300); node 2: nothing before 300.
+	if len(list) != 2 {
+		t.Fatalf("got %v", list)
+	}
+	if list[0].Interval != (Interval{100, 120}) || list[1].Interval != (Interval{150, 300}) {
+		t.Fatalf("got %v", list)
+	}
+
+	// Reservation outside the window does not affect it.
+	later := tt.FreeSlots([]*nodes.Node{n2}, 500, 600, 10)
+	if len(later) != 1 || later[0].Interval != (Interval{500, 600}) {
+		t.Fatalf("got %v", later)
+	}
+}
+
+func TestTimetableFreeSlotsSuppressesShort(t *testing.T) {
+	n := &nodes.Node{ID: 1, Perf: 4, Price: 1}
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{5, 95})
+	list := tt.FreeSlots([]*nodes.Node{n}, 0, 100, 10)
+	if len(list) != 0 {
+		t.Fatalf("short gaps survived: %v", list)
+	}
+}
+
+func TestTimetableCloneIndependent(t *testing.T) {
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{10, 20})
+	c := tt.Clone()
+	c.Reserve(1, Interval{30, 40})
+	if len(tt.Busy(1)) != 1 {
+		t.Fatal("clone shares state with original")
+	}
+	if len(c.Busy(1)) != 2 {
+		t.Fatal("clone lost reservation")
+	}
+}
+
+func TestTimetableReserveAll(t *testing.T) {
+	tt := NewTimetable()
+	tt.ReserveAll(map[int][]Interval{
+		1: {{0, 10}, {20, 30}},
+		2: {{5, 15}},
+	})
+	if len(tt.Busy(1)) != 2 || len(tt.Busy(2)) != 1 {
+		t.Fatalf("ReserveAll wrong: %v / %v", tt.Busy(1), tt.Busy(2))
+	}
+}
+
+func TestTimetableFreeComplementProperty(t *testing.T) {
+	// Free slots and busy intervals must tile the window exactly when no
+	// minimum length suppression applies.
+	check := func(seed uint64, nRaw uint8) bool {
+		rng := randx.New(seed)
+		tt := NewTimetable()
+		n := &nodes.Node{ID: 1, Perf: 4, Price: 1}
+		count := int(nRaw % 8)
+		for i := 0; i < count; i++ {
+			s := rng.FloatRange(0, 90)
+			tt.Reserve(1, Interval{Start: s, End: s + rng.FloatRange(0.5, 20)})
+		}
+		if tt.Validate() != nil {
+			return false
+		}
+		free := tt.FreeSlots([]*nodes.Node{n}, 0, 100, 0)
+		freeSpan := free.TotalSpan()
+		busySpan := tt.BusyWithin(1, 0, 100)
+		if diff := freeSpan + busySpan - 100; diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		// Free slots never overlap busy time.
+		for _, f := range free {
+			if !tt.IsFree(1, f.Interval) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package strategy realizes the paper's §2.1 remark that "by combining the
+// optimization criteria, VO administrators and users can form alternatives
+// search strategies for every job in the batch": a strategy runs several
+// AEP algorithms over the same slot list, collects their candidate windows,
+// and selects the one minimizing a user-defined score — typically a
+// weighted combination of the window characteristics.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"slotsel/internal/core"
+	"slotsel/internal/job"
+	"slotsel/internal/slots"
+)
+
+// Score maps a window to a figure of merit; lower is better.
+type Score func(*core.Window) float64
+
+// Weights is a linear scoring over the window characteristics. Zero-value
+// fields contribute nothing; characteristics have different magnitudes, so
+// callers normally normalize (e.g. divide cost weight by the budget).
+type Weights struct {
+	Start    float64
+	Finish   float64
+	Runtime  float64
+	ProcTime float64
+	Cost     float64
+}
+
+// Score builds the weighted-sum score.
+func (w Weights) Score(win *core.Window) float64 {
+	return w.Start*win.Start +
+		w.Finish*win.Finish() +
+		w.Runtime*win.Runtime +
+		w.ProcTime*win.ProcTime +
+		w.Cost*win.Cost
+}
+
+// Strategy is a composite search: every algorithm contributes its window
+// and the best-scoring one wins. A typical instance combines MinFinish,
+// MinCost and MinRunTime with user weights reflecting the job's priorities.
+type Strategy struct {
+	// Label names the strategy (for tables); default "Strategy".
+	Label string
+
+	// Algorithms are the candidate searches; at least one is required.
+	Algorithms []core.Algorithm
+
+	// Score ranks the candidates; nil defaults to earliest finish.
+	Score Score
+}
+
+// Name implements core.Algorithm.
+func (s Strategy) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "Strategy"
+}
+
+// Find implements core.Algorithm: it runs every component algorithm on the
+// list and returns the best-scoring window. A component returning
+// core.ErrNoWindow is skipped; any other error aborts the search. If every
+// component finds nothing, ErrNoWindow is returned.
+func (s Strategy) Find(list slots.List, req *job.Request) (*core.Window, error) {
+	if len(s.Algorithms) == 0 {
+		return nil, fmt.Errorf("strategy: %s has no component algorithms", s.Name())
+	}
+	score := s.Score
+	if score == nil {
+		score = func(w *core.Window) float64 { return w.Finish() }
+	}
+	var best *core.Window
+	bestScore := math.Inf(1)
+	for _, alg := range s.Algorithms {
+		w, err := alg.Find(list, req)
+		if errors.Is(err, core.ErrNoWindow) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("strategy: %s component %s: %w", s.Name(), alg.Name(), err)
+		}
+		if v := score(w); v < bestScore {
+			best, bestScore = w, v
+		}
+	}
+	if best == nil {
+		return nil, core.ErrNoWindow
+	}
+	return best, nil
+}
+
+// Balanced returns a ready-made strategy trading completion time against
+// cost: score = finish/horizon + cost/budget (both normalized to ~[0,1]).
+// budget <= 0 or horizon <= 0 disables the respective term.
+func Balanced(horizon, budget float64) Strategy {
+	w := Weights{}
+	if horizon > 0 {
+		w.Finish = 1 / horizon
+	}
+	if budget > 0 {
+		w.Cost = 1 / budget
+	}
+	return Strategy{
+		Label:      "Balanced",
+		Algorithms: []core.Algorithm{core.MinFinish{}, core.MinCost{}, core.MinRunTime{}},
+		Score:      w.Score,
+	}
+}

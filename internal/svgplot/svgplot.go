@@ -1,0 +1,193 @@
+// Package svgplot renders the reproduction's figures as standalone SVG
+// documents using only the standard library: bar charts for the quality
+// figures (Figs. 2-4) and multi-series line charts for the working-time
+// curves (Figs. 5-6). The output opens in any browser, making the
+// regenerated figures directly comparable with the paper's.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// size and layout constants shared by both chart kinds.
+const (
+	width      = 640
+	height     = 400
+	marginLeft = 70
+	marginBot  = 60
+	marginTop  = 40
+	marginRt   = 30
+)
+
+// seriesColors is a small colorblind-friendly palette.
+var seriesColors = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#000000",
+}
+
+// escape sanitizes text nodes.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(title))
+}
+
+func footer(w io.Writer) {
+	fmt.Fprintln(w, "</svg>")
+}
+
+// niceCeil rounds x up to a "nice" axis maximum (1/2/5 x 10^k).
+func niceCeil(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(x)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if x <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// Bar is one labeled bar.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// WriteBarChart renders a vertical bar chart (the paper's Figs. 2-4 style).
+func WriteBarChart(w io.Writer, title, yLabel string, bars []Bar) error {
+	header(w, title)
+	defer footer(w)
+	if len(bars) == 0 {
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">no data</text>`+"\n",
+			width/2, height/2)
+		return nil
+	}
+	maxVal := 0.0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+	}
+	axisMax := niceCeil(maxVal)
+	plotW := float64(width - marginLeft - marginRt)
+	plotH := float64(height - marginTop - marginBot)
+	y := func(v float64) float64 { return float64(marginTop) + plotH*(1-v/axisMax) }
+
+	drawYAxis(w, axisMax, yLabel, y)
+
+	slot := plotW / float64(len(bars))
+	barW := slot * 0.6
+	for i, b := range bars {
+		x := float64(marginLeft) + slot*float64(i) + (slot-barW)/2
+		top := y(b.Value)
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, top, barW, float64(height-marginBot)-top, seriesColors[i%len(seriesColors)])
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%.1f</text>`+"\n",
+			x+barW/2, top-4, b.Value)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-25 %.1f %d)">%s</text>`+"\n",
+			x+barW/2, height-marginBot+18, x+barW/2, height-marginBot+18, escape(b.Label))
+	}
+	return nil
+}
+
+// Series is one line of a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// WriteLineChart renders a multi-series line chart (the paper's Figs. 5-6
+// style). Series with mismatched X/Y lengths are skipped.
+func WriteLineChart(w io.Writer, title, xLabel, yLabel string, series []Series) error {
+	header(w, title)
+	defer footer(w)
+	var xMax, yMax float64
+	valid := series[:0:0]
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			continue
+		}
+		valid = append(valid, s)
+		for i := range s.X {
+			if s.X[i] > xMax {
+				xMax = s.X[i]
+			}
+			if s.Y[i] > yMax {
+				yMax = s.Y[i]
+			}
+		}
+	}
+	if len(valid) == 0 {
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">no data</text>`+"\n",
+			width/2, height/2)
+		return nil
+	}
+	xAxisMax := niceCeil(xMax)
+	yAxisMax := niceCeil(yMax)
+	plotW := float64(width - marginLeft - marginRt)
+	plotH := float64(height - marginTop - marginBot)
+	px := func(v float64) float64 { return float64(marginLeft) + plotW*v/xAxisMax }
+	py := func(v float64) float64 { return float64(marginTop) + plotH*(1-v/yAxisMax) }
+
+	drawYAxis(w, yAxisMax, yLabel, py)
+	// X axis ticks.
+	for i := 0; i <= 4; i++ {
+		v := xAxisMax * float64(i) / 4
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%g</text>`+"\n",
+			px(v), height-marginBot+16, v)
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+int(plotW/2), height-marginBot+38, escape(xLabel))
+
+	for si, s := range valid {
+		color := seriesColors[si%len(seriesColors)]
+		var b strings.Builder
+		for i := range s.X {
+			if i == 0 {
+				fmt.Fprintf(&b, "M%.1f %.1f", px(s.X[i]), py(s.Y[i]))
+			} else {
+				fmt.Fprintf(&b, " L%.1f %.1f", px(s.X[i]), py(s.Y[i]))
+			}
+		}
+		fmt.Fprintf(w, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", b.String(), color)
+		for i := range s.X {
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginTop + 16*si
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n", width-marginRt-130, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginRt-112, ly+5, escape(s.Name))
+	}
+	return nil
+}
+
+// drawYAxis draws the frame, horizontal gridlines and the y-axis label.
+func drawYAxis(w io.Writer, axisMax float64, yLabel string, y func(float64) float64) {
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBot)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, height-marginBot, width-marginRt, height-marginBot)
+	for i := 0; i <= 4; i++ {
+		v := axisMax * float64(i) / 4
+		yy := y(v)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, yy, width-marginRt, yy)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%g</text>`+"\n",
+			marginLeft-6, yy+4, v)
+	}
+	fmt.Fprintf(w, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginTop+(height-marginTop-marginBot)/2, marginTop+(height-marginTop-marginBot)/2, escape(yLabel))
+}

@@ -1,0 +1,122 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the output parses as XML (SVG is XML).
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	var b strings.Builder
+	err := WriteBarChart(&b, "Fig. 4 <cost & more>", "cost", []Bar{
+		{Label: "AMP", Value: 1400},
+		{Label: "MinCost", Value: 790},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wellFormed(t, out)
+	if !strings.Contains(out, "AMP") || !strings.Contains(out, "MinCost") {
+		t.Error("labels missing")
+	}
+	if !strings.Contains(out, "&lt;cost &amp; more&gt;") {
+		t.Error("title not escaped")
+	}
+	if strings.Count(out, "<rect") < 3 { // background + 2 bars
+		t.Errorf("bars missing:\n%s", out)
+	}
+}
+
+func TestBarChartProportions(t *testing.T) {
+	var b strings.Builder
+	if err := WriteBarChart(&b, "t", "y", []Bar{{"a", 50}, {"b", 100}}); err != nil {
+		t.Fatal(err)
+	}
+	// The taller bar must reach higher (smaller y) than the shorter one.
+	out := b.String()
+	if !strings.Contains(out, `>50.0<`) || !strings.Contains(out, `>100.0<`) {
+		t.Errorf("value labels missing:\n%s", out)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteBarChart(&b, "t", "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.String())
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	var b strings.Builder
+	err := WriteLineChart(&b, "Fig. 5", "nodes", "ms", []Series{
+		{Name: "AMP", X: []float64{50, 100, 200}, Y: []float64{0.1, 0.2, 0.4}},
+		{Name: "MinRunTime", X: []float64{50, 100, 200}, Y: []float64{1, 4, 19}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wellFormed(t, out)
+	if strings.Count(out, "<path") != 2 {
+		t.Errorf("expected 2 paths:\n%s", out)
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Errorf("expected 6 data points:\n%s", out)
+	}
+	if !strings.Contains(out, "MinRunTime") {
+		t.Error("legend missing")
+	}
+}
+
+func TestLineChartSkipsBadSeries(t *testing.T) {
+	var b strings.Builder
+	err := WriteLineChart(&b, "t", "x", "y", []Series{
+		{Name: "mismatched", X: []float64{1, 2}, Y: []float64{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.String())
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("all-invalid series should render as no data")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0:    1,
+		0.7:  1,
+		1:    1,
+		1.2:  2,
+		3:    5,
+		7:    10,
+		12:   20,
+		99:   100,
+		1500: 2000,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%g) = %g, want %g", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Gantt renders node timelines as an ASCII chart: one row per node, time on
+// the horizontal axis, with busy/free/allocated spans drawn with distinct
+// glyphs. It visualizes slot maps and co-allocated windows in examples and
+// CLI output.
+type Gantt struct {
+	// Horizon is the time span [0, Horizon) drawn.
+	Horizon float64
+
+	// Width is the number of character cells the horizon maps to
+	// (default 80).
+	Width int
+
+	rows map[int][]ganttSpan
+}
+
+type ganttSpan struct {
+	start, end float64
+	glyph      rune
+}
+
+// NewGantt creates a chart for [0, horizon).
+func NewGantt(horizon float64) *Gantt {
+	return &Gantt{Horizon: horizon, Width: 80, rows: make(map[int][]ganttSpan)}
+}
+
+// Span draws [start, end) on the node's row with the given glyph. Later
+// spans overdraw earlier ones, so callers layer free slots first and
+// allocations on top.
+func (g *Gantt) Span(nodeID int, start, end float64, glyph rune) {
+	if end <= start {
+		return
+	}
+	g.rows[nodeID] = append(g.rows[nodeID], ganttSpan{start: start, end: end, glyph: glyph})
+}
+
+// Render writes the chart to w, rows ordered by node ID.
+func (g *Gantt) Render(w io.Writer) {
+	width := g.Width
+	if width <= 0 {
+		width = 80
+	}
+	if g.Horizon <= 0 || len(g.rows) == 0 {
+		fmt.Fprintln(w, "(empty gantt)")
+		return
+	}
+	ids := make([]int, 0, len(g.rows))
+	for id := range g.rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	cell := func(t float64) int {
+		i := int(t / g.Horizon * float64(width))
+		if i < 0 {
+			i = 0
+		}
+		if i > width {
+			i = width
+		}
+		return i
+	}
+	for _, id := range ids {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, s := range g.rows[id] {
+			lo, hi := cell(s.start), cell(s.end)
+			if hi == lo && hi < width {
+				hi = lo + 1 // make sub-cell spans visible
+			}
+			for i := lo; i < hi && i < width; i++ {
+				line[i] = s.glyph
+			}
+		}
+		fmt.Fprintf(w, "  node %4d |%s|\n", id, string(line))
+	}
+	// Time axis.
+	axis := make([]rune, width)
+	for i := range axis {
+		axis[i] = '-'
+	}
+	fmt.Fprintf(w, "  %9s +%s+\n", "", string(axis))
+	fmt.Fprintf(w, "  %9s 0%s%.0f\n", "", strings.Repeat(" ", width-len(fmt.Sprintf("%.0f", g.Horizon))), g.Horizon)
+}
+
+// String renders the chart to a string.
+func (g *Gantt) String() string {
+	var b strings.Builder
+	g.Render(&b)
+	return b.String()
+}

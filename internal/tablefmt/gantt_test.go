@@ -1,0 +1,82 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRendersRowsInOrder(t *testing.T) {
+	g := NewGantt(100)
+	g.Span(3, 0, 50, '#')
+	g.Span(1, 25, 75, '=')
+	out := g.String()
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "node    1") {
+		t.Errorf("rows not ordered by node ID:\n%s", out)
+	}
+	if !strings.Contains(out, "node    3") {
+		t.Errorf("missing node row:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+}
+
+func TestGanttProportions(t *testing.T) {
+	g := NewGantt(100)
+	g.Width = 100
+	g.Span(1, 0, 50, '#')
+	out := g.String()
+	row := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "node") {
+			row = line
+		}
+	}
+	if got := strings.Count(row, "#"); got != 50 {
+		t.Errorf("50%% span drew %d/100 cells", got)
+	}
+	if got := strings.Count(row, "."); got != 50 {
+		t.Errorf("free space drew %d/100 cells", got)
+	}
+}
+
+func TestGanttOverdraw(t *testing.T) {
+	g := NewGantt(100)
+	g.Width = 100
+	g.Span(1, 0, 100, '.')
+	g.Span(1, 40, 60, '@')
+	out := g.String()
+	if strings.Count(out, "@") != 20 {
+		t.Errorf("overdraw wrong:\n%s", out)
+	}
+}
+
+func TestGanttSubCellSpanVisible(t *testing.T) {
+	g := NewGantt(1000)
+	g.Width = 10
+	g.Span(1, 500, 501, '#') // far below one cell
+	if !strings.Contains(g.String(), "#") {
+		t.Error("sub-cell span invisible")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	g := NewGantt(100)
+	if !strings.Contains(g.String(), "empty") {
+		t.Error("empty gantt should say so")
+	}
+	g.Span(1, 50, 50, '#') // zero-length span is ignored
+	if !strings.Contains(g.String(), "empty") {
+		t.Error("zero-length span created a row")
+	}
+}
+
+func TestGanttAxis(t *testing.T) {
+	g := NewGantt(600)
+	g.Span(1, 0, 10, '#')
+	out := g.String()
+	if !strings.Contains(out, "600") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}

@@ -1,0 +1,89 @@
+// Package testkit provides the shared fixtures of the test suite: compact
+// random environments, hand-built slot lists and requests sized so that the
+// exhaustive oracles in internal/baseline stay fast.
+package testkit
+
+import (
+	"slotsel/internal/env"
+	"slotsel/internal/job"
+	"slotsel/internal/nodes"
+	"slotsel/internal/randx"
+	"slotsel/internal/slots"
+)
+
+// SmallEnvConfig returns an environment configuration scaled down for
+// oracle-checked tests: few nodes, a short interval, homogeneous software
+// (so requirement filtering does not starve the tiny instance).
+func SmallEnvConfig(nodeCount int, horizon float64) env.Config {
+	cfg := env.DefaultConfig()
+	cfg.Nodes.Count = nodeCount
+	cfg.Nodes.OSOptions = []nodes.OS{nodes.Linux}
+	cfg.Nodes.ArchOptions = []nodes.Arch{nodes.AMD64}
+	cfg.Horizon = horizon
+	return cfg
+}
+
+// SmallEnv generates a compact environment for the given seed.
+func SmallEnv(seed uint64, nodeCount int, horizon float64) *env.Environment {
+	return env.Generate(SmallEnvConfig(nodeCount, horizon), randx.New(seed))
+}
+
+// SmallRequest returns a request scaled to small environments: taskCount
+// tasks of volume 60 with the given budget (0 = unconstrained).
+func SmallRequest(taskCount int, budget float64) job.Request {
+	return job.Request{TaskCount: taskCount, Volume: 60, MaxCost: budget}
+}
+
+// Node builds a standalone test node.
+func Node(id int, perf, price float64) *nodes.Node {
+	return &nodes.Node{
+		ID:     id,
+		Perf:   perf,
+		Price:  price,
+		RAMMB:  4096,
+		DiskGB: 100,
+		OS:     nodes.Linux,
+		Arch:   nodes.AMD64,
+	}
+}
+
+// Slot builds a standalone test slot on the given node.
+func Slot(n *nodes.Node, start, end float64) *slots.Slot {
+	return &slots.Slot{Node: n, Interval: slots.Interval{Start: start, End: end}}
+}
+
+// SlotList builds a sorted list from the given slots.
+func SlotList(ss ...*slots.Slot) slots.List {
+	l := slots.List(ss)
+	l.SortByStart()
+	return l
+}
+
+// RandomList generates an arbitrary (but valid and sorted) slot list:
+// nodeCount nodes with random performance/price, each publishing up to
+// maxSlotsPerNode disjoint random slots within [0, horizon). Used by
+// property-based tests that want denser or weirder lists than the full
+// environment generator produces.
+func RandomList(rng *randx.Rand, nodeCount, maxSlotsPerNode int, horizon float64) slots.List {
+	var l slots.List
+	for id := 0; id < nodeCount; id++ {
+		n := Node(id, float64(rng.IntRange(2, 10)), 0.3+3*rng.Float64())
+		cursor := 0.0
+		k := rng.Intn(maxSlotsPerNode + 1)
+		for s := 0; s < k && cursor < horizon-1; s++ {
+			gap := rng.FloatRange(0, horizon/4)
+			length := rng.FloatRange(1, horizon/2)
+			start := cursor + gap
+			end := start + length
+			if end > horizon {
+				end = horizon
+			}
+			if end-start >= 1 {
+				l = append(l, Slot(n, start, end))
+			}
+			cursor = end + 0.5
+		}
+	}
+	l.SortByStart()
+	return l
+}

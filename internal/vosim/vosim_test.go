@@ -1,0 +1,162 @@
+package vosim
+
+import (
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes.Count = 40
+	cfg.Cycles = 8
+	cfg.ArrivalRate = 3
+	return cfg
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted == 0 {
+		t.Fatal("no jobs arrived over 8 cycles at rate 3")
+	}
+	if res.Scheduled == 0 {
+		t.Fatal("nothing scheduled on a lightly loaded environment")
+	}
+	if res.Scheduled+res.Dropped > res.Submitted {
+		t.Fatalf("accounting broken: %d scheduled + %d dropped > %d submitted",
+			res.Scheduled, res.Dropped, res.Submitted)
+	}
+	if rate := res.AcceptanceRate(); rate < 0 || rate > 1 {
+		t.Fatalf("acceptance rate %g", rate)
+	}
+	if res.BrokerUtilization < 0 || res.BrokerUtilization > 1 {
+		t.Fatalf("broker utilization %g", res.BrokerUtilization)
+	}
+	if res.QueueLength.Count() != 8 {
+		t.Fatalf("queue sampled %d times, want 8", res.QueueLength.Count())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Submitted != b.Submitted || a.Scheduled != b.Scheduled || a.Dropped != b.Dropped {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.Cycles = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	bad = smallConfig()
+	bad.Horizon = 100
+	bad.CycleAdvance = 200
+	if _, err := Run(bad); err == nil {
+		t.Error("horizon < advance accepted")
+	}
+	bad = smallConfig()
+	bad.ArrivalRate = -1
+	if _, err := Run(bad); err == nil {
+		t.Error("negative arrival rate accepted")
+	}
+}
+
+func TestHigherLoadLowersAcceptance(t *testing.T) {
+	light := smallConfig()
+	light.ArrivalRate = 1
+	heavy := smallConfig()
+	heavy.ArrivalRate = 20
+	heavy.VOBudgetPerCycle = 3000
+
+	lr, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.AcceptanceRate() > lr.AcceptanceRate() {
+		t.Errorf("heavier load increased acceptance: %g vs %g", hr.AcceptanceRate(), lr.AcceptanceRate())
+	}
+	if hr.BrokerUtilization < lr.BrokerUtilization {
+		t.Errorf("heavier load lowered utilization: %g vs %g", hr.BrokerUtilization, lr.BrokerUtilization)
+	}
+}
+
+func TestIdleRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ArrivalRate = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 0 || res.Scheduled != 0 {
+		t.Fatalf("idle run scheduled jobs: %+v", res)
+	}
+	if res.AcceptanceRate() != 1 {
+		t.Errorf("idle acceptance rate %g, want 1", res.AcceptanceRate())
+	}
+}
+
+func TestPoliciesRunAndDiffer(t *testing.T) {
+	base := smallConfig()
+	base.ArrivalRate = 6
+	results := map[Policy]*Result{}
+	for _, p := range []Policy{PolicyTwoStage, PolicyFCFS, PolicyMinCost} {
+		cfg := base
+		cfg.Policy = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if res.Scheduled == 0 {
+			t.Fatalf("policy %v scheduled nothing", p)
+		}
+		results[p] = res
+	}
+	// All policies see the same arrivals (the job stream is drawn from the
+	// same seed before any policy-dependent choice).
+	if results[PolicyFCFS].Submitted != results[PolicyMinCost].Submitted {
+		t.Errorf("policies saw different arrivals: %d vs %d",
+			results[PolicyFCFS].Submitted, results[PolicyMinCost].Submitted)
+	}
+	// The MinCost policy cannot pay more per window on average than FCFS.
+	if results[PolicyMinCost].WindowCost.Mean() > results[PolicyFCFS].WindowCost.Mean() {
+		t.Errorf("mincost policy paid more (%g) than fcfs (%g)",
+			results[PolicyMinCost].WindowCost.Mean(), results[PolicyFCFS].WindowCost.Mean())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	names := map[Policy]string{
+		PolicyTwoStage: "two-stage", PolicyFCFS: "fcfs", PolicyMinCost: "mincost", Policy(9): "unknown",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestQueueDrainsUnderLightLoad(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ArrivalRate = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WaitCycles.Count() > 0 && res.WaitCycles.Mean() > 1 {
+		t.Errorf("light load should schedule quickly, mean wait %.2f cycles", res.WaitCycles.Mean())
+	}
+}
