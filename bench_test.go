@@ -20,7 +20,13 @@ import (
 	"testing"
 
 	"slotsel"
+	"slotsel/internal/batchsched"
+	"slotsel/internal/csa"
 	"slotsel/internal/experiments"
+	"slotsel/internal/job"
+	"slotsel/internal/nodes"
+	"slotsel/internal/randx"
+	"slotsel/internal/workload"
 )
 
 // benchEnvs pre-generates a pool of environments so that environment
@@ -287,5 +293,121 @@ func BenchmarkBatchSchedule(b *testing.B) {
 			slotsel.SelectConfig{Budget: 2400, Criterion: slotsel.ByFinish}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Concurrent engine benchmarks: sequential vs parallel multi-algorithm
+// search and stage-1 batch alternative search at 1/2/4/8 workers. Results
+// are identical for every worker count (the differential suite proves it);
+// these benchmarks measure the wall-clock effect only. On a single-core
+// runner (GOMAXPROCS=1) the expected outcome is parity within scheduling
+// overhead; the speedup materializes with ≥2 cores.
+
+func benchAllAlgorithms() []slotsel.Algorithm {
+	return []slotsel.Algorithm{
+		slotsel.AMP{},
+		slotsel.MinCost{},
+		slotsel.MinRunTime{},
+		slotsel.MinRunTime{Exact: true},
+		slotsel.MinFinish{},
+		slotsel.MinFinish{Exact: true},
+		slotsel.MinProcTime{Seed: 0x5eed},
+		slotsel.MinProcTimeGreedy{},
+		slotsel.MinEnergy{},
+	}
+}
+
+func BenchmarkFindAllWorkers(b *testing.B) {
+	envs := benchEnvs(4, slotsel.DefaultEnvConfig().WithNodeCount(200), 19)
+	req := slotsel.DefaultRequest()
+	algs := benchAllAlgorithms()
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := req
+			for _, alg := range algs {
+				if _, err := alg.Find(envs[i%len(envs)].Slots, &r); err != nil && !errors.Is(err, slotsel.ErrNoWindow) {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := req
+				for _, res := range slotsel.FindAllWindows(envs[i%len(envs)].Slots, &r, algs, workers) {
+					if res.Err != nil && !errors.Is(res.Err, slotsel.ErrNoWindow) {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// benchHeteroBatch builds a requirement-diverse batch: jobs constrained to
+// different OS/architecture classes rarely cut each other's nodes, so their
+// speculations rarely invalidate — the workload the speculative engine is
+// designed for. The default §3.1 node generator draws Linux/Windows/
+// Solaris/BSD and AMD64/ARM64/PPC64 nodes, so every class is populated.
+func benchHeteroBatch() *slotsel.Batch {
+	classes := []job.Request{
+		{OS: []nodes.OS{nodes.Linux}},
+		{OS: []nodes.OS{nodes.Windows}},
+		{OS: []nodes.OS{nodes.Solaris}},
+		{Arch: []nodes.Arch{nodes.ARM64}},
+	}
+	batch := &slotsel.Batch{}
+	for i := 0; i < 8; i++ {
+		req := classes[i%len(classes)]
+		req.TaskCount = 3 + i%3
+		req.Volume = 100 + float64(20*(i%4))
+		req.MaxCost = 2000
+		batch.Add(&slotsel.Job{ID: i + 1, Priority: 1 + i%3, Request: req})
+	}
+	return batch
+}
+
+func BenchmarkBatchAlternativesWorkers(b *testing.B) {
+	envs := benchEnvs(4, slotsel.DefaultEnvConfig().WithNodeCount(200), 23)
+	opts := csa.Options{MaxAlternatives: 10, MinSlotLength: 10}
+	for _, sc := range []struct {
+		name  string
+		batch *slotsel.Batch
+	}{
+		// hetero: disjoint requirement classes, speculations mostly commit.
+		{"hetero", benchHeteroBatch()},
+		// homogeneous: every job matches every node, so each commit
+		// invalidates all pending speculations — the adversarial case where
+		// the serial dependency chain is real and no speedup is possible.
+		{"homogeneous", workload.DefaultMix().Batch(randx.New(23), 8)},
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", sc.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := batchsched.FindAlternatives(envs[i%len(envs)].Slots, sc.batch,
+						batchsched.Options{CSA: opts, Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBatchScheduleWorkers(b *testing.B) {
+	envs := benchEnvs(4, slotsel.DefaultEnvConfig().WithNodeCount(200), 29)
+	batch := benchHeteroBatch()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := slotsel.ScheduleBatchOpts(envs[i%len(envs)].Slots, batch,
+					slotsel.BatchOptions{CSA: slotsel.CSAOptions{MaxAlternatives: 10, MinSlotLength: 10}, Workers: workers},
+					slotsel.SelectConfig{Budget: 8000, Criterion: slotsel.ByFinish}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

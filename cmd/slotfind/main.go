@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	slotfind -env FILE [-alg NAME] [-tasks N] [-volume V] [-budget S]
-//	         [-deadline D] [-min-perf P] [-alternatives] [-json] [-gantt]
+//	slotfind -env FILE [-alg NAME[,NAME...]] [-workers N] [-tasks N]
+//	         [-volume V] [-budget S] [-deadline D] [-min-perf P]
+//	         [-alternatives] [-json] [-gantt]
 //
 // Algorithms: amp, minfinish, mincost, minruntime, minproctime, minenergy,
-// firstfit.
+// firstfit. A comma-separated -alg list compares several algorithms in one
+// table; -workers sizes the pool the searches run on concurrently (0 =
+// GOMAXPROCS) — the table is identical for any worker count.
 package main
 
 import (

@@ -23,7 +23,10 @@
 //	all      — everything above
 //
 // Flags tune the workload; the defaults reproduce §3.1 (100 nodes,
-// interval [0,600), job of 5 slots x volume 150, budget 1500).
+// interval [0,600), job of 5 slots x volume 150, budget 1500). -workers N
+// runs the quality study and the batch study's stage-1 alternative search
+// on an N-worker pool (0 = sequential); batch results are identical for
+// any worker count — only wall-clock time changes.
 package main
 
 import (

@@ -22,6 +22,7 @@ import (
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/job"
+	"slotsel/internal/parallel"
 	"slotsel/internal/slots"
 )
 
@@ -31,25 +32,52 @@ type JobAlternatives struct {
 	Alts []*core.Window
 }
 
+// Options configures the stage-1 alternative search.
+type Options struct {
+	// CSA configures the per-job CSA searches (alternative bound, minimum
+	// slot length for remainder suppression when cutting).
+	CSA csa.Options
+
+	// Workers runs the per-job searches on the speculative worker pool of
+	// internal/parallel. 0 and 1 select the plain sequential loop; any
+	// value produces results identical (by value) to the sequential path —
+	// parallelism only changes wall-clock time. Negative values select
+	// GOMAXPROCS.
+	Workers int
+}
+
 // FindAlternatives runs stage 1: CSA per job in priority order over a shared
-// working list, cutting every found alternative. Jobs for which no window
-// exists get an empty alternative set (the caller decides whether that is an
-// error).
-func FindAlternatives(list slots.List, batch *job.Batch, opts csa.Options) ([]JobAlternatives, error) {
-	work := list.Clone()
+// working list, cutting every found alternative so all alternatives of all
+// jobs are pairwise disjoint by slots. Jobs for which no window exists get
+// an empty alternative set (the caller decides whether that is an error).
+//
+// With opts.Workers > 1 the searches run on a speculative worker pool with
+// a deterministic commit order (see parallel.Alternatives for the
+// determinism proof); the output is identical to the sequential path.
+func FindAlternatives(list slots.List, batch *job.Batch, opts Options) ([]JobAlternatives, error) {
 	ordered := batch.ByPriority()
-	out := make([]JobAlternatives, 0, len(ordered))
-	for _, j := range ordered {
-		alts, err := csa.Search(work, &j.Request, opts)
-		if err != nil && !errors.Is(err, core.ErrNoWindow) {
-			return nil, fmt.Errorf("batchsched: job %v: %w", j, err)
+	alts, err := parallel.Alternatives(list, ordered, opts.CSA, normalizeWorkers(opts.Workers))
+	if err != nil {
+		var je *parallel.JobError
+		if errors.As(err, &je) {
+			return nil, fmt.Errorf("batchsched: job %v: %w", je.Job, je.Err)
 		}
-		out = append(out, JobAlternatives{Job: j, Alts: alts})
-		for _, w := range alts {
-			work = slots.Cut(work, w.UsedIntervals(), opts.MinSlotLength)
-		}
+		return nil, fmt.Errorf("batchsched: %w", err)
+	}
+	out := make([]JobAlternatives, len(ordered))
+	for i, j := range ordered {
+		out[i] = JobAlternatives{Job: j, Alts: alts[i]}
 	}
 	return out, nil
+}
+
+// normalizeWorkers maps the Options.Workers convention (0/1 sequential,
+// negative = GOMAXPROCS) onto parallel.Alternatives' argument.
+func normalizeWorkers(w int) int {
+	if w == 0 {
+		return 1 // explicit sequential default; parallel treats <=0 as GOMAXPROCS
+	}
+	return w
 }
 
 // Assignment is a stage-2 result: the chosen alternative per job (nil when
@@ -204,9 +232,18 @@ func selectUnconstrained(alts []JobAlternatives, cfg SelectConfig) *Plan {
 	return plan
 }
 
-// Schedule runs both stages with the given options and returns the plan.
+// Schedule runs both stages sequentially with the given CSA options and
+// returns the plan. It is the single-threaded convenience wrapper around
+// ScheduleOpts.
 func Schedule(list slots.List, batch *job.Batch, csaOpts csa.Options, sel SelectConfig) (*Plan, error) {
-	alts, err := FindAlternatives(list, batch, csaOpts)
+	return ScheduleOpts(list, batch, Options{CSA: csaOpts}, sel)
+}
+
+// ScheduleOpts runs both stages with full stage-1 options (including the
+// worker pool) and returns the plan. The plan is identical to Schedule's
+// for any worker count.
+func ScheduleOpts(list slots.List, batch *job.Batch, opts Options, sel SelectConfig) (*Plan, error) {
+	alts, err := FindAlternatives(list, batch, opts)
 	if err != nil {
 		return nil, err
 	}

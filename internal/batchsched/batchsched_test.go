@@ -21,7 +21,7 @@ func testBatch() *job.Batch {
 
 func TestFindAlternativesDisjointAcrossJobs(t *testing.T) {
 	e := testkit.SmallEnv(1, 25, 500)
-	alts, err := FindAlternatives(e.Slots, testBatch(), csa.Options{MinSlotLength: 10, MaxAlternatives: 10})
+	alts, err := FindAlternatives(e.Slots, testBatch(), Options{CSA: csa.Options{MinSlotLength: 10, MaxAlternatives: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestFindAlternativesDisjointAcrossJobs(t *testing.T) {
 
 func TestFindAlternativesPriorityOrder(t *testing.T) {
 	e := testkit.SmallEnv(2, 25, 500)
-	alts, err := FindAlternatives(e.Slots, testBatch(), csa.Options{MinSlotLength: 10, MaxAlternatives: 5})
+	alts, err := FindAlternatives(e.Slots, testBatch(), Options{CSA: csa.Options{MinSlotLength: 10, MaxAlternatives: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestSelectCombinationNearOptimal(t *testing.T) {
 	// criterion on small instances (up to grid slack on feasibility).
 	for seed := uint64(1); seed <= 8; seed++ {
 		e := testkit.SmallEnv(seed, 20, 400)
-		alts, err := FindAlternatives(e.Slots, testBatch(), csa.Options{MinSlotLength: 10, MaxAlternatives: 4})
+		alts, err := FindAlternatives(e.Slots, testBatch(), Options{CSA: csa.Options{MinSlotLength: 10, MaxAlternatives: 4}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func TestSelectCombinationNearOptimal(t *testing.T) {
 
 func TestSelectUnconstrainedPicksPerJobBest(t *testing.T) {
 	e := testkit.SmallEnv(5, 25, 500)
-	alts, err := FindAlternatives(e.Slots, testBatch(), csa.Options{MinSlotLength: 10, MaxAlternatives: 6})
+	alts, err := FindAlternatives(e.Slots, testBatch(), Options{CSA: csa.Options{MinSlotLength: 10, MaxAlternatives: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}

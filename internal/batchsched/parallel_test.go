@@ -1,0 +1,81 @@
+package batchsched
+
+import (
+	"testing"
+
+	"slotsel/internal/csa"
+	"slotsel/internal/randx"
+	"slotsel/internal/testkit"
+)
+
+// TestFindAlternativesWorkersMatchSequential is the batch-level differential
+// suite: for every seed, FindAlternatives with Workers 2 and 8 must return
+// exactly the alternatives of the sequential path (Workers 1), job by job
+// and field by field. A divergence prints the seed for reproduction.
+func TestFindAlternativesWorkersMatchSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 120; seed++ {
+		rng := randx.New(seed)
+		list := testkit.HeteroList(rng, rng.IntRange(4, 12), 4, 300)
+		batch := testkit.RandomBatch(rng, rng.IntRange(2, 7))
+		opts := csa.Options{MaxAlternatives: 3, MinSlotLength: 1}
+
+		want, err := FindAlternatives(list, batch, Options{CSA: opts, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed=%d: sequential FindAlternatives: %v", seed, err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := FindAlternatives(list, batch, Options{CSA: opts, Workers: workers})
+			if err != nil {
+				t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d workers=%d: %d jobs, want %d", seed, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Job != want[i].Job {
+					t.Errorf("seed=%d workers=%d: job order diverged at %d: %v vs %v",
+						seed, workers, i, got[i].Job, want[i].Job)
+				}
+				gs, ws := testkit.WindowsSignature(got[i].Alts), testkit.WindowsSignature(want[i].Alts)
+				if gs != ws {
+					t.Errorf("seed=%d workers=%d job=%v: alternatives diverged\n got: %s\nwant: %s",
+						seed, workers, want[i].Job, gs, ws)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleOptsWorkersMatchSchedule checks the end-to-end plan: both
+// stages with a worker pool must produce the plan of the sequential
+// scheduler, including costs, values and the chosen windows.
+func TestScheduleOptsWorkersMatchSchedule(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := randx.New(seed)
+		list := testkit.HeteroList(rng, 8, 4, 300)
+		batch := testkit.RandomBatch(rng, 5)
+		opts := csa.Options{MaxAlternatives: 3, MinSlotLength: 1}
+		sel := SelectConfig{Budget: 1500, Criterion: csa.ByFinish}
+
+		want, err := Schedule(list, batch, opts, sel)
+		if err != nil {
+			t.Fatalf("seed=%d: Schedule: %v", seed, err)
+		}
+		got, err := ScheduleOpts(list, batch, Options{CSA: opts, Workers: 8}, sel)
+		if err != nil {
+			t.Fatalf("seed=%d: ScheduleOpts: %v", seed, err)
+		}
+		if got.TotalCost != want.TotalCost || got.TotalValue != want.TotalValue || got.Scheduled != want.Scheduled {
+			t.Fatalf("seed=%d: plan diverged: cost %v/%v value %v/%v scheduled %d/%d",
+				seed, got.TotalCost, want.TotalCost, got.TotalValue, want.TotalValue, got.Scheduled, want.Scheduled)
+		}
+		for i := range want.Assignments {
+			gs := testkit.WindowSignature(got.Assignments[i].Chosen)
+			ws := testkit.WindowSignature(want.Assignments[i].Chosen)
+			if gs != ws {
+				t.Fatalf("seed=%d job=%v: chosen window diverged\n got: %s\nwant: %s",
+					seed, want.Assignments[i].Job, gs, ws)
+			}
+		}
+	}
+}

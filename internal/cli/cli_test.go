@@ -175,6 +175,25 @@ func TestSlotgenAndSlotfindPipeline(t *testing.T) {
 	if !strings.Contains(stdout, `"placements"`) {
 		t.Errorf("JSON output missing placements: %q", stdout)
 	}
+
+	// Multi-algorithm comparison on the worker pool: the table must list
+	// every requested algorithm and be identical for any worker count.
+	code, seqOut, stderr := runSlotfind(t, "-env", envPath, "-alg", "amp,mincost,minruntime", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("slotfind multi-alg exit %d: %s", code, stderr)
+	}
+	for _, name := range []string{"AMP", "MinCost", "MinRunTime"} {
+		if !strings.Contains(seqOut, name) {
+			t.Errorf("multi-alg table missing %s:\n%s", name, seqOut)
+		}
+	}
+	code, parOut, stderr := runSlotfind(t, "-env", envPath, "-alg", "amp,mincost,minruntime", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("slotfind multi-alg -workers 8 exit %d: %s", code, stderr)
+	}
+	if parOut != seqOut {
+		t.Errorf("multi-alg output depends on worker count:\nworkers=1:\n%s\nworkers=8:\n%s", seqOut, parOut)
+	}
 }
 
 func TestSlotfindErrors(t *testing.T) {

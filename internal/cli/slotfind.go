@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"slotsel"
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/job"
+	"slotsel/internal/parallel"
 	"slotsel/internal/persist"
+	"slotsel/internal/slots"
 	"slotsel/internal/tablefmt"
 )
 
@@ -22,7 +25,7 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 	var (
 		envPath  = fs.String("env", "", "environment snapshot (from slotgen); required")
 		reqPath  = fs.String("request", "", "resource request JSON file (overrides -tasks/-volume/... flags)")
-		algName  = fs.String("alg", "amp", "algorithm: amp|minfinish|mincost|minruntime|minproctime|minenergy|firstfit")
+		algName  = fs.String("alg", "amp", "algorithm, or a comma-separated list to compare several: amp|minfinish|mincost|minruntime|minproctime|minenergy|firstfit")
 		tasks    = fs.Int("tasks", 5, "parallel slots required")
 		volume   = fs.Float64("volume", 150, "task volume")
 		budget   = fs.Float64("budget", 1500, "total cost limit (0 = unconstrained)")
@@ -32,6 +35,7 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 		asJSON   = fs.Bool("json", false, "emit the window as JSON")
 		gantt    = fs.Bool("gantt", false, "draw the selected nodes' timelines (published slots '=', allocation '#')")
 		seed     = fs.Uint64("seed", 1, "seed for the randomized MinProcTime algorithm")
+		workers  = fs.Int("workers", 1, "worker-pool size when -alg lists several algorithms (0 = GOMAXPROCS; results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +95,11 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	names := strings.Split(*algName, ",")
+	if len(names) > 1 {
+		return findMany(e.Slots, &req, names, *seed, *workers, stdout, stderr)
+	}
+
 	alg, err := slotsel.AlgorithmByName(*algName, *seed)
 	if err != nil {
 		fmt.Fprintf(stderr, "slotfind: %v\n", err)
@@ -138,6 +147,46 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 		chart.Render(stdout)
+	}
+	return 0
+}
+
+// findMany runs several algorithms concurrently over the shared slot list
+// (parallel.FindAll — results are identical to running them one by one) and
+// prints a comparison table. Exit code 0 if at least one algorithm found a
+// window, 1 if none did, 2 on a bad algorithm name.
+func findMany(list slots.List, req *job.Request, names []string, seed uint64, workers int, stdout, stderr io.Writer) int {
+	algs := make([]core.Algorithm, 0, len(names))
+	for _, name := range names {
+		alg, err := slotsel.AlgorithmByName(strings.TrimSpace(name), seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "slotfind: %v\n", err)
+			return 2
+		}
+		algs = append(algs, alg)
+	}
+	found := 0
+	t := tablefmt.New("algorithm", "start", "finish", "runtime", "cpu", "cost")
+	for _, res := range parallel.FindAll(list, req, algs, workers) {
+		if errors.Is(res.Err, core.ErrNoWindow) {
+			t.AddRow(res.Algorithm.Name(), "-", "-", "-", "-", "no window")
+			continue
+		}
+		if res.Err != nil {
+			fmt.Fprintf(stderr, "slotfind: %s: %v\n", res.Algorithm.Name(), res.Err)
+			return 1
+		}
+		found++
+		w := res.Window
+		t.AddRow(res.Algorithm.Name(),
+			fmt.Sprintf("%.2f", w.Start), fmt.Sprintf("%.2f", w.Finish()),
+			fmt.Sprintf("%.2f", w.Runtime), fmt.Sprintf("%.2f", w.ProcTime),
+			fmt.Sprintf("%.2f", w.Cost))
+	}
+	t.Render(stdout)
+	if found == 0 {
+		fmt.Fprintln(stdout, "no feasible window")
+		return 1
 	}
 	return 0
 }

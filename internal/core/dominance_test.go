@@ -1,17 +1,18 @@
-package core
+package core_test
 
 import (
 	"errors"
 	"testing"
 	"testing/quick"
 
+	"slotsel/internal/core"
 	"slotsel/internal/job"
 	"slotsel/internal/slots"
 	"slotsel/internal/testkit"
 )
 
 // cutList removes a window's reserved spans from a slot list (the CSA cut).
-func cutList(l slots.List, w *Window) slots.List {
+func cutList(l slots.List, w *core.Window) slots.List {
 	return slots.Cut(l, w.UsedIntervals(), 10)
 }
 
@@ -21,8 +22,8 @@ func cutList(l slots.List, w *Window) slots.List {
 //
 //   - AMP on start time,
 //   - MinCost on total cost,
-//   - MinRunTime{Exact} on runtime,
-//   - MinFinish{Exact} on finish time.
+//   - core.MinRunTime{Exact} on runtime,
+//   - core.MinFinish{Exact} on finish time.
 func TestAlgorithmDominanceProperty(t *testing.T) {
 	check := func(seed uint64, nodesRaw, tasksRaw, budgetRaw uint8) bool {
 		nodeCount := int(nodesRaw%20) + 4
@@ -34,17 +35,17 @@ func TestAlgorithmDominanceProperty(t *testing.T) {
 			MaxCost:   float64(budgetRaw%200)*2 + float64(taskCount)*40,
 		}
 
-		amp, errAMP := (AMP{}).Find(e.Slots, &req)
-		minCost, errCost := (MinCost{}).Find(e.Slots, &req)
-		minRun, errRun := (MinRunTime{Exact: true}).Find(e.Slots, &req)
-		minFin, errFin := (MinFinish{Exact: true}).Find(e.Slots, &req)
+		amp, errAMP := (core.AMP{}).Find(e.Slots, &req)
+		minCost, errCost := (core.MinCost{}).Find(e.Slots, &req)
+		minRun, errRun := (core.MinRunTime{Exact: true}).Find(e.Slots, &req)
+		minFin, errFin := (core.MinFinish{Exact: true}).Find(e.Slots, &req)
 
 		found := 0
 		for _, err := range []error{errAMP, errCost, errRun, errFin} {
 			switch {
 			case err == nil:
 				found++
-			case !errors.Is(err, ErrNoWindow):
+			case !errors.Is(err, core.ErrNoWindow):
 				return false
 			}
 		}
@@ -54,13 +55,13 @@ func TestAlgorithmDominanceProperty(t *testing.T) {
 		if found != 4 {
 			return false // exact optimizers must agree on feasibility
 		}
-		for _, w := range []*Window{amp, minCost, minRun, minFin} {
+		for _, w := range []*core.Window{amp, minCost, minRun, minFin} {
 			if w.Validate(&req) != nil {
 				return false
 			}
 		}
 		const eps = 1e-9
-		others := []*Window{amp, minCost, minRun, minFin}
+		others := []*core.Window{amp, minCost, minRun, minFin}
 		for _, w := range others {
 			if w.Start < amp.Start-eps {
 				return false
@@ -89,14 +90,14 @@ func TestCSADominanceProperty(t *testing.T) {
 	for seed := uint64(1); seed <= 25; seed++ {
 		e := testkit.SmallEnv(seed, 15, 300)
 		req := testkit.SmallRequest(3, 300)
-		minCost, err := (MinCost{}).Find(e.Slots, &req)
-		if errors.Is(err, ErrNoWindow) {
+		minCost, err := (core.MinCost{}).Find(e.Slots, &req)
+		if errors.Is(err, core.ErrNoWindow) {
 			continue
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
-		minRun, err := (MinRunTime{Exact: true}).Find(e.Slots, &req)
+		minRun, err := (core.MinRunTime{Exact: true}).Find(e.Slots, &req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,8 +108,8 @@ func TestCSADominanceProperty(t *testing.T) {
 		var bestCost, bestRun float64
 		first := true
 		for {
-			w, err := (AMP{}).Find(work, &req)
-			if errors.Is(err, ErrNoWindow) {
+			w, err := (core.AMP{}).Find(work, &req)
+			if errors.Is(err, core.ErrNoWindow) {
 				break
 			}
 			if err != nil {

@@ -29,7 +29,20 @@ type Candidate struct {
 //
 // The cands slice is reused between calls: implementations must copy
 // whatever they keep. Returning true stops the scan early.
+//
+// Candidate values may be copied freely — a Candidate aliases its *Slot,
+// which is immutable for the duration of the search (see the slots.List
+// contract) — but the cands slice itself is the scan's live window state:
+// retaining it (or a sub-slice of it) is an aliasing bug that the
+// testkit.PoisonVisit detector exists to catch.
 type VisitFunc func(start float64, cands []Candidate) (stop bool)
+
+// visitWrap, when non-nil, wraps every visit function before Scan uses it.
+// It is a test-only seam (set via SetVisitWrapForTest) that lets the
+// aliasing regression tests interpose testkit.PoisonVisit between Scan and
+// the per-algorithm selection procedures; production builds pay one nil
+// check per Scan call.
+var visitWrap func(VisitFunc) VisitFunc
 
 // Scan is the AEP general scheme: a single pass over the slot list in order
 // of non-decreasing start time, maintaining the set of slots that remain
@@ -39,12 +52,25 @@ type VisitFunc func(start float64, cands []Candidate) (stop bool)
 // The list must be sorted by start time (slots.List.SortByStart); Scan
 // returns an error otherwise, because an unsorted list silently breaks the
 // linear-scan correctness argument of §2.1.
+//
+// Concurrency (audited for the parallel engine): Scan only READS the list,
+// its slots and their nodes — it never writes through a *slots.Slot — and
+// all of its mutable state (the window slice, the Candidate values) is
+// local to the call. Any number of Scans may therefore run concurrently
+// over one shared list, provided callers uphold the slots.List contract of
+// not mutating a published list during searches. The cands slice handed to
+// visit is owned by the scan; implementations copy what they keep (the
+// aliasing regression tests in this package enforce that for every
+// shipped algorithm).
 func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
 	if !list.IsSortedByStart() {
 		return fmt.Errorf("core: slot list is not ordered by start time")
+	}
+	if visitWrap != nil {
+		visit = visitWrap(visit)
 	}
 
 	// window is the current extended window: slots that still can host a

@@ -35,6 +35,11 @@ type BatchStudyConfig struct {
 
 	// MaxAlternatives bounds the per-job CSA search.
 	MaxAlternatives int
+
+	// Workers runs the stage-1 alternative search of the CSA pipeline on
+	// the speculative worker pool (0/1 = sequential, negative = GOMAXPROCS).
+	// Any value yields the same plans; only wall-clock time changes.
+	Workers int
 }
 
 // DefaultBatchStudyConfig returns a medium batch workload on the §3.1
@@ -87,9 +92,12 @@ func RunBatchStudy(cfg BatchStudyConfig) (*BatchStudyResult, error) {
 		e := env.Generate(cfg.Env, rng)
 		batch := mix.Batch(rng, cfg.Jobs)
 
-		// Pipeline A: the full two-stage scheme.
-		plan, err := batchsched.Schedule(e.Slots, batch,
-			csa.Options{MinSlotLength: cfg.Env.MinSlotLength, MaxAlternatives: cfg.MaxAlternatives},
+		// Pipeline A: the full two-stage scheme, stage 1 on the worker pool.
+		plan, err := batchsched.ScheduleOpts(e.Slots, batch,
+			batchsched.Options{
+				CSA:     csa.Options{MinSlotLength: cfg.Env.MinSlotLength, MaxAlternatives: cfg.MaxAlternatives},
+				Workers: cfg.Workers,
+			},
 			batchsched.SelectConfig{Budget: cfg.VOBudget, Criterion: csa.ByFinish})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: batch study CSA pipeline: %w", err)

@@ -3,12 +3,11 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/env"
+	"slotsel/internal/parallel"
 	"slotsel/internal/randx"
 )
 
@@ -26,70 +25,64 @@ func RunQualityParallel(cfg QualityConfig, workers int) (*QualityResult, error) 
 	if err := cfg.Request.Validate(); err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = parallel.Workers(workers)
 	if workers > cfg.Cycles {
 		workers = cfg.Cycles
 	}
 
-	// Each worker accumulates into private stats; the shards merge at the
-	// end (metrics.Accumulator supports exact parallel merging).
+	// Each worker accumulates into private stats on the shared worker pool
+	// (parallel.ForEachWorker); the shards merge at the end in worker-id
+	// order (metrics.Accumulator supports exact parallel merging), so the
+	// result does not depend on goroutine scheduling.
 	type shard struct {
 		res *QualityResult
 		err error
 	}
 	shards := make([]shard, workers)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			res := &QualityResult{Config: cfg, CSA: newCSAStats()}
-			stats := make(map[string]*WindowStats)
-			algs := standardAlgorithms(cfg.Seed ^ 0x5eed ^ uint64(wk))
+	parallel.ForEachWorker(workers, func(wk int) {
+		res := &QualityResult{Config: cfg, CSA: newCSAStats()}
+		stats := make(map[string]*WindowStats)
+		algs := standardAlgorithms(cfg.Seed ^ 0x5eed ^ uint64(wk))
+		for _, a := range algs {
+			st := &WindowStats{Name: a.Name()}
+			stats[a.Name()] = st
+			res.Algos = append(res.Algos, st)
+		}
+		csaOpts := csa.Options{MinSlotLength: cfg.Env.MinSlotLength}
+		for cycle := wk; cycle < cfg.Cycles; cycle += workers {
+			rng := randx.New(cfg.Seed ^ (uint64(cycle)+1)*0x9e3779b97f4a7c15)
+			e := env.Generate(cfg.Env, rng)
+			req := cfg.Request
 			for _, a := range algs {
-				st := &WindowStats{Name: a.Name()}
-				stats[a.Name()] = st
-				res.Algos = append(res.Algos, st)
-			}
-			csaOpts := csa.Options{MinSlotLength: cfg.Env.MinSlotLength}
-			for cycle := wk; cycle < cfg.Cycles; cycle += workers {
-				rng := randx.New(cfg.Seed ^ (uint64(cycle)+1)*0x9e3779b97f4a7c15)
-				e := env.Generate(cfg.Env, rng)
-				req := cfg.Request
-				for _, a := range algs {
-					w, err := a.Find(e.Slots, &req)
-					if errors.Is(err, core.ErrNoWindow) {
-						stats[a.Name()].Missed++
-						continue
-					}
-					if err != nil {
-						shards[wk].err = fmt.Errorf("experiments: %s: %w", a.Name(), err)
-						return
-					}
-					stats[a.Name()].Observe(w)
-				}
-				alts, err := csa.Search(e.Slots, &req, csaOpts)
+				w, err := a.Find(e.Slots, &req)
 				if errors.Is(err, core.ErrNoWindow) {
-					res.CSA.Missed++
+					stats[a.Name()].Missed++
 					continue
 				}
 				if err != nil {
-					shards[wk].err = fmt.Errorf("experiments: CSA: %w", err)
+					shards[wk].err = fmt.Errorf("experiments: %s: %w", a.Name(), err)
 					return
 				}
-				res.CSA.Alternatives.Add(float64(len(alts)))
-				for _, c := range AllCriteria {
-					best := csa.Best(alts, c)
-					res.CSA.Best[c].Add(c.Value(best))
-					res.CSA.BestWindows[c].Observe(best)
-				}
+				stats[a.Name()].Observe(w)
 			}
-			shards[wk].res = res
-		}(wk)
-	}
-	wg.Wait()
+			alts, err := csa.Search(e.Slots, &req, csaOpts)
+			if errors.Is(err, core.ErrNoWindow) {
+				res.CSA.Missed++
+				continue
+			}
+			if err != nil {
+				shards[wk].err = fmt.Errorf("experiments: CSA: %w", err)
+				return
+			}
+			res.CSA.Alternatives.Add(float64(len(alts)))
+			for _, c := range AllCriteria {
+				best := csa.Best(alts, c)
+				res.CSA.Best[c].Add(c.Value(best))
+				res.CSA.BestWindows[c].Observe(best)
+			}
+		}
+		shards[wk].res = res
+	})
 
 	merged := &QualityResult{Config: cfg, CSA: newCSAStats()}
 	for i := range AlgoNames {

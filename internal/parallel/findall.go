@@ -1,0 +1,43 @@
+package parallel
+
+import (
+	"slotsel/internal/core"
+	"slotsel/internal/job"
+	"slotsel/internal/slots"
+)
+
+// Result is the outcome of one algorithm's search within FindAll, in the
+// same position as the algorithm held in the input slice.
+type Result struct {
+	// Algorithm is the algorithm that produced this result.
+	Algorithm core.Algorithm
+
+	// Window is the found window; nil when Err is non-nil.
+	Window *core.Window
+
+	// Err is the search error: core.ErrNoWindow when no feasible window
+	// exists, another error for invalid input.
+	Err error
+}
+
+// FindAll runs every algorithm concurrently over one shared immutable slot
+// list and returns the per-algorithm results merged in input order.
+//
+// Determinism: each algorithm's Find is a pure function of (list, req) —
+// the list is never written during a search (see the slots.List contract)
+// and every algorithm receives a private copy of the request — so out[i]
+// does not depend on scheduling, and the merged slice is identical to the
+// sequential loop
+//
+//	for i, a := range algs { out[i].Window, out[i].Err = a.Find(list, req) }
+//
+// for any worker count. workers <= 0 selects GOMAXPROCS.
+func FindAll(list slots.List, req *job.Request, algs []core.Algorithm, workers int) []Result {
+	out := make([]Result, len(algs))
+	ForEach(len(algs), workers, func(i int) {
+		r := *req // private copy: keep concurrent searches free of shared request state
+		w, err := algs[i].Find(list, &r)
+		out[i] = Result{Algorithm: algs[i], Window: w, Err: err}
+	})
+	return out
+}

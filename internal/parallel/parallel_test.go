@@ -1,0 +1,241 @@
+package parallel_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"slotsel/internal/core"
+	"slotsel/internal/csa"
+	"slotsel/internal/job"
+	"slotsel/internal/parallel"
+	"slotsel/internal/randx"
+	"slotsel/internal/slots"
+	"slotsel/internal/testkit"
+)
+
+// workerCounts is the sweep every differential test runs: the inline path,
+// the smallest truly concurrent pool, and an oversubscribed pool (more
+// workers than the single-CPU CI runner has cores — scheduling order is
+// then maximally adversarial).
+var workerCounts = []int{1, 2, 8}
+
+// diffSeeds is the number of random instances per differential test. The
+// ISSUE requires at least 100; failures print the seed so a divergence is
+// reproducible with a one-line test filter.
+const diffSeeds = 120
+
+func TestWorkers(t *testing.T) {
+	if got := parallel.Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := parallel.Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1 (GOMAXPROCS)", got)
+	}
+	if got := parallel.Workers(-7); got < 1 {
+		t.Fatalf("Workers(-7) = %d, want >= 1 (GOMAXPROCS)", got)
+	}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64} {
+			counts := make([]int32, n)
+			parallel.ForEach(n, workers, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachWorkerRunsEachID(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		seen := make(map[int]bool)
+		parallel.ForEachWorker(workers, func(wk int) {
+			mu.Lock()
+			seen[wk] = true
+			mu.Unlock()
+		})
+		if len(seen) != workers {
+			t.Fatalf("workers=%d: saw ids %v", workers, seen)
+		}
+	}
+}
+
+// randomRequest draws a request with occasional budget, deadline and
+// heterogeneity constraints so the differential sweep covers feasible,
+// infeasible and partially-constrained searches.
+func randomRequest(rng *randx.Rand) job.Request {
+	req := job.Request{
+		TaskCount: rng.IntRange(1, 5),
+		Volume:    float64(rng.IntRange(30, 150)),
+	}
+	if rng.Intn(2) == 0 {
+		req.MaxCost = float64(rng.IntRange(100, 1500))
+	}
+	if rng.Intn(3) == 0 {
+		req.Deadline = rng.FloatRange(20, 180)
+	}
+	if rng.Intn(4) == 0 {
+		req.MinPerf = float64(rng.IntRange(3, 8))
+	}
+	return req
+}
+
+// findAllAlgs is the full shipped-algorithm catalogue; MinProcTime's seed is
+// fixed per instance so the randomized selection is deterministic per Find.
+func findAllAlgs(seed uint64) []core.Algorithm {
+	return []core.Algorithm{
+		core.AMP{},
+		core.MinCost{},
+		core.MinRunTime{},
+		core.MinRunTime{Exact: true},
+		core.MinFinish{},
+		core.MinFinish{Exact: true},
+		core.MinProcTime{Seed: seed},
+		core.MinProcTimeGreedy{},
+		core.MinEnergy{},
+	}
+}
+
+// TestFindAllMatchesSequential is the FindAll differential suite: for every
+// seed and every worker count, the parallel multi-algorithm search must be
+// value-identical to the plain sequential loop over the same algorithms.
+func TestFindAllMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= diffSeeds; seed++ {
+		rng := randx.New(seed)
+		list := testkit.HeteroList(rng, rng.IntRange(3, 10), 4, 200)
+		req := randomRequest(rng)
+		algs := findAllAlgs(seed)
+
+		// Sequential reference: one Find per algorithm, in order.
+		type ref struct {
+			sig string
+			err error
+		}
+		want := make([]ref, len(algs))
+		for i, alg := range algs {
+			r := req
+			w, err := alg.Find(list, &r)
+			want[i] = ref{sig: testkit.WindowSignature(w), err: err}
+		}
+
+		for _, workers := range workerCounts {
+			got := parallel.FindAll(list, &req, algs, workers)
+			if len(got) != len(algs) {
+				t.Fatalf("seed=%d workers=%d: FindAll returned %d results, want %d", seed, workers, len(got), len(algs))
+			}
+			for i, res := range got {
+				if res.Algorithm.Name() != algs[i].Name() {
+					t.Errorf("seed=%d workers=%d: result %d is %s, want %s", seed, workers, i, res.Algorithm.Name(), algs[i].Name())
+				}
+				if sig := testkit.WindowSignature(res.Window); sig != want[i].sig {
+					t.Errorf("seed=%d workers=%d alg=%s: window diverged\n got: %s\nwant: %s",
+						seed, workers, algs[i].Name(), sig, want[i].sig)
+				}
+				if !errors.Is(res.Err, want[i].err) && !errors.Is(want[i].err, res.Err) {
+					t.Errorf("seed=%d workers=%d alg=%s: err = %v, want %v", seed, workers, algs[i].Name(), res.Err, want[i].err)
+				}
+			}
+		}
+	}
+}
+
+// TestAlternativesMatchesSequential is the speculative-engine differential
+// suite: for every seed and worker count, the parallel stage-1 alternative
+// search must be value-identical — per job, per alternative, per placement
+// field — to the sequential CSA-and-cut loop.
+func TestAlternativesMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= diffSeeds; seed++ {
+		rng := randx.New(seed)
+		list := testkit.HeteroList(rng, rng.IntRange(4, 12), 4, 300)
+		batch := testkit.RandomBatch(rng, rng.IntRange(2, 8))
+		ordered := batch.ByPriority()
+		opts := csa.Options{MaxAlternatives: rng.Intn(4), MinSlotLength: 1}
+
+		want, wantErr := parallel.Alternatives(list, ordered, opts, 1)
+		if wantErr != nil {
+			t.Fatalf("seed=%d: sequential Alternatives failed: %v", seed, wantErr)
+		}
+
+		for _, workers := range workerCounts[1:] {
+			got, err := parallel.Alternatives(list, ordered, opts, workers)
+			if err != nil {
+				t.Fatalf("seed=%d workers=%d: Alternatives failed: %v", seed, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d workers=%d: %d jobs, want %d", seed, workers, len(got), len(want))
+			}
+			for j := range want {
+				gs, ws := testkit.WindowsSignature(got[j]), testkit.WindowsSignature(want[j])
+				if gs != ws {
+					t.Errorf("seed=%d workers=%d job=%v: alternatives diverged\n got: %s\nwant: %s",
+						seed, workers, ordered[j], gs, ws)
+				}
+			}
+		}
+	}
+}
+
+// TestAlternativesDisjoint checks the cross-job invariant the cutting loop
+// exists for: every alternative of every job is pairwise slot-disjoint with
+// every other, under the parallel engine too.
+func TestAlternativesDisjoint(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := randx.New(seed)
+		list := testkit.HeteroList(rng, 8, 4, 300)
+		batch := testkit.RandomBatch(rng, 5)
+		ordered := batch.ByPriority()
+		opts := csa.Options{MaxAlternatives: 3, MinSlotLength: 1}
+
+		alts, err := parallel.Alternatives(list, ordered, opts, 8)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		var all []*core.Window
+		for _, ja := range alts {
+			all = append(all, ja...)
+		}
+		if !csa.Disjoint(all) {
+			t.Errorf("seed=%d: parallel alternatives are not pairwise disjoint", seed)
+		}
+	}
+}
+
+// TestAlternativesEmptyAndSingle pins the degenerate shapes: no jobs, one
+// job, and an empty slot list must behave like the sequential loop.
+func TestAlternativesEmptyAndSingle(t *testing.T) {
+	rng := randx.New(7)
+	list := testkit.RandomList(rng, 4, 3, 100)
+	opts := csa.Options{MaxAlternatives: 2, MinSlotLength: 1}
+
+	if got, err := parallel.Alternatives(list, nil, opts, 8); err != nil || len(got) != 0 {
+		t.Fatalf("no jobs: got %v, %v", got, err)
+	}
+
+	batch := testkit.RandomBatch(rng, 1)
+	ordered := batch.ByPriority()
+	want, _ := parallel.Alternatives(list, ordered, opts, 1)
+	got, err := parallel.Alternatives(list, ordered, opts, 8)
+	if err != nil {
+		t.Fatalf("single job: %v", err)
+	}
+	if testkit.WindowsSignature(got[0]) != testkit.WindowsSignature(want[0]) {
+		t.Fatalf("single job diverged")
+	}
+
+	got, err = parallel.Alternatives(slots.List{}, ordered, opts, 8)
+	if err != nil {
+		t.Fatalf("empty list: %v", err)
+	}
+	if len(got) != 1 || got[0] != nil {
+		t.Fatalf("empty list: got %v, want one nil alternative set", got)
+	}
+}

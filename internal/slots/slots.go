@@ -76,6 +76,23 @@ func (s *Slot) FitsAt(start, volume float64) bool {
 // List is a collection of slots. The AEP algorithms require the list to be
 // ordered by non-decreasing start time; SortByStart establishes and
 // IsSortedByStart verifies that invariant.
+//
+// # Immutability contract
+//
+// Once a list is published to a search (core.Scan, any core.Algorithm,
+// csa.Search, the batch scheduler), the list, the slots it points to and
+// their nodes are immutable: no search mutates them, and callers must not
+// either until every search over the list has returned. Everything in this
+// package honors the contract — Cut and Subtract are persistent
+// operations that build new slices and new slots, leaving their inputs
+// (and any aliased snapshot of them) intact; Clone copies slot structs and
+// shares the immutable nodes. The contract is what lets the concurrent
+// engine (internal/parallel) share one list across any number of searching
+// goroutines and treat old list values as free snapshots, with no
+// defensive copying on the hot path.
+//
+// SortByStart is the one mutating method; it belongs to list
+// construction, before publication.
 type List []*Slot
 
 // SortByStart orders the list by non-decreasing start time, breaking ties by

@@ -4,6 +4,11 @@
 package testkit
 
 import (
+	"fmt"
+	"math"
+	"strings"
+
+	"slotsel/internal/core"
 	"slotsel/internal/env"
 	"slotsel/internal/job"
 	"slotsel/internal/nodes"
@@ -57,6 +62,114 @@ func SlotList(ss ...*slots.Slot) slots.List {
 	l := slots.List(ss)
 	l.SortByStart()
 	return l
+}
+
+// poisonedNode backs the slot PoisonVisit writes into released candidate
+// slices: any algorithm that reads it produces NaN-tainted, node -1
+// windows that the aliasing regression tests cannot miss.
+var poisonedNode = &nodes.Node{ID: -1, Perf: math.NaN(), Price: math.NaN()}
+
+// PoisonVisit is the aliasing detector for core.Scan's candidate-reuse
+// contract: it wraps a visit function so that every call receives a
+// private copy of the candidates, and poisons that copy (NaN exec/cost,
+// a node -1 slot) the moment the inner visit returns. A selection
+// procedure that keeps the slice it was handed — instead of copying what
+// it keeps, as the VisitFunc contract demands — ends up building its
+// window from poisoned candidates, so comparing a poisoned run against a
+// clean run exposes the aliasing. Install it with
+// core.SetVisitWrapForTest(testkit.PoisonVisit).
+func PoisonVisit(visit core.VisitFunc) core.VisitFunc {
+	return func(start float64, cands []core.Candidate) bool {
+		private := append([]core.Candidate(nil), cands...)
+		stop := visit(start, private)
+		for i := range private {
+			private[i] = core.Candidate{
+				Slot: &slots.Slot{Node: poisonedNode, Interval: slots.Interval{Start: math.NaN(), End: math.NaN()}},
+				Exec: math.NaN(),
+				Cost: math.NaN(),
+			}
+		}
+		return stop
+	}
+}
+
+// WindowSignature renders every field of a window (including each
+// placement's node and exact slot interval) into a canonical string, so
+// two windows are value-identical iff their signatures are equal. The
+// %g/%x formatting is exact for float64, making the differential tests a
+// bit-identity check, not an approximate one.
+func WindowSignature(w *core.Window) string {
+	if w == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "start=%x runtime=%x cost=%x proc=%x n=%d", w.Start, w.Runtime, w.Cost, w.ProcTime, len(w.Placements))
+	for _, p := range w.Placements {
+		fmt.Fprintf(&b, " [node=%d slot=%x..%x start=%x exec=%x cost=%x]",
+			p.Node().ID, p.Slot.Start, p.Slot.End, p.Start, p.Exec, p.Cost)
+	}
+	return b.String()
+}
+
+// WindowsSignature concatenates the signatures of an alternative set in
+// order; discovery order is part of the sequential semantics, so it is
+// part of the identity check too.
+func WindowsSignature(ws []*core.Window) string {
+	var b strings.Builder
+	for i, w := range ws {
+		fmt.Fprintf(&b, "#%d %s\n", i, WindowSignature(w))
+	}
+	return b.String()
+}
+
+// HeteroList generates a random sorted slot list over nodes with mixed
+// operating systems, architectures and performance — the resource-type
+// diversity the speculative batch engine exploits. Node i cycles through
+// the OS/arch combinations so every list contains several requirement
+// classes.
+func HeteroList(rng *randx.Rand, nodeCount, maxSlotsPerNode int, horizon float64) slots.List {
+	oses := []nodes.OS{nodes.Linux, nodes.Windows}
+	arches := []nodes.Arch{nodes.AMD64, nodes.ARM64}
+	l := RandomList(rng, nodeCount, maxSlotsPerNode, horizon)
+	seen := make(map[int]bool)
+	for _, s := range l {
+		if seen[s.Node.ID] {
+			continue
+		}
+		seen[s.Node.ID] = true
+		s.Node.OS = oses[s.Node.ID%len(oses)]
+		s.Node.Arch = arches[(s.Node.ID/len(oses))%len(arches)]
+	}
+	return l
+}
+
+// RandomBatch draws a batch of count jobs with randomized parallelism,
+// volume, budget and priority, plus randomized node requirements (OS,
+// architecture, minimum performance) drawn to sometimes overlap and
+// sometimes be disjoint — exercising both the commit and the re-run paths
+// of the speculative engine.
+func RandomBatch(rng *randx.Rand, count int) *job.Batch {
+	b := &job.Batch{}
+	for i := 0; i < count; i++ {
+		req := job.Request{
+			TaskCount: rng.IntRange(1, 4),
+			Volume:    float64(rng.IntRange(30, 120)),
+			MaxCost:   float64(rng.IntRange(200, 2000)),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			req.OS = []nodes.OS{nodes.Linux}
+		case 1:
+			req.OS = []nodes.OS{nodes.Windows}
+		case 2:
+			req.Arch = []nodes.Arch{nodes.ARM64}
+		}
+		if rng.Intn(3) == 0 {
+			req.MinPerf = float64(rng.IntRange(4, 8))
+		}
+		b.Add(&job.Job{ID: i + 1, Priority: rng.IntRange(1, 3), Request: req})
+	}
+	return b
 }
 
 // RandomList generates an arbitrary (but valid and sorted) slot list:

@@ -36,6 +36,7 @@ import (
 	"slotsel/internal/env"
 	"slotsel/internal/job"
 	"slotsel/internal/nodes"
+	"slotsel/internal/parallel"
 	"slotsel/internal/randx"
 	"slotsel/internal/slots"
 )
@@ -142,6 +143,15 @@ type (
 
 	// SelectConfig parametrizes the stage-2 combination selection.
 	SelectConfig = batchsched.SelectConfig
+
+	// BatchOptions configures the stage-1 alternative search, including
+	// the speculative worker pool (Workers; results are identical to the
+	// sequential path for any worker count).
+	BatchOptions = batchsched.Options
+
+	// FindResult is one algorithm's outcome in a concurrent FindAllWindows
+	// search.
+	FindResult = parallel.Result
 )
 
 // ErrNoWindow is returned when no feasible window exists.
@@ -186,4 +196,19 @@ func BestAlternative(alts []*Window, c Criterion) *Window { return csa.Best(alts
 // VO budget (stage 2).
 func ScheduleBatch(list SlotList, batch *Batch, csaOpts CSAOptions, sel SelectConfig) (*Plan, error) {
 	return batchsched.Schedule(list, batch, csaOpts, sel)
+}
+
+// ScheduleBatchOpts is ScheduleBatch with full stage-1 options; setting
+// BatchOptions.Workers > 1 runs the alternative search on the speculative
+// worker pool, producing the same plan in less wall-clock time.
+func ScheduleBatchOpts(list SlotList, batch *Batch, opts BatchOptions, sel SelectConfig) (*Plan, error) {
+	return batchsched.ScheduleOpts(list, batch, opts, sel)
+}
+
+// FindAllWindows runs several algorithms concurrently over one shared slot
+// list and returns their windows in input order. For any worker count the
+// results are identical to calling each algorithm's Find sequentially;
+// workers <= 0 selects GOMAXPROCS.
+func FindAllWindows(list SlotList, req *Request, algs []Algorithm, workers int) []FindResult {
+	return parallel.FindAll(list, req, algs, workers)
 }
