@@ -7,11 +7,18 @@
 //	slotfind -env FILE [-alg NAME[,NAME...]] [-workers N] [-tasks N]
 //	         [-volume V] [-budget S] [-deadline D] [-min-perf P]
 //	         [-alternatives] [-json] [-gantt]
+//	         [-stats] [-trace FILE] [-pprof ADDR]
 //
 // Algorithms: amp, minfinish, mincost, minruntime, minproctime, minenergy,
 // firstfit. A comma-separated -alg list compares several algorithms in one
 // table; -workers sizes the pool the searches run on concurrently (0 =
 // GOMAXPROCS) — the table is identical for any worker count.
+//
+// Observability: -stats prints scan/selection counters after the result,
+// -trace writes a Chrome trace_event JSON file (load it in chrome://tracing
+// or ui.perfetto.dev), and -pprof serves net/http/pprof on the given
+// address for the lifetime of the run. See the README's Observability
+// section.
 package main
 
 import (

@@ -17,6 +17,8 @@
 //	           greedy vs exact per-step selection)
 //	tasks    — extension sweep: window quality vs job parallelism n
 //	frontier — extension sweep: cost-runtime frontier vs user budget
+//	hetero   — extension sweep: window quality vs performance heterogeneity
+//	deadline — extension sweep: feasibility and cost vs deadline tightness
 //	batch    — extension study: two-stage batch scheduling pipelines
 //	longrun  — extension study: rolling-horizon VO metascheduler over many
 //	           consecutive cycles with Poisson arrivals and a retry queue
@@ -27,6 +29,13 @@
 // runs the quality study and the batch study's stage-1 alternative search
 // on an N-worker pool (0 = sequential); batch results are identical for
 // any worker count — only wall-clock time changes.
+//
+// Observability: -stats aggregates the quality and batch studies' scan,
+// selection and speculation counters into a distribution table after the
+// experiment output, -trace writes a Chrome trace_event JSON file of the
+// instrumented spans, and -pprof serves net/http/pprof on the given
+// address while the experiment runs. See the README's Observability
+// section.
 package main
 
 import (

@@ -3,6 +3,7 @@ package baseline
 import (
 	"slotsel/internal/core"
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/slots"
 )
 
@@ -21,13 +22,18 @@ type ALP struct{}
 func (ALP) Name() string { return "ALP" }
 
 // Find implements core.Algorithm.
-func (ALP) Find(list slots.List, req *job.Request) (*core.Window, error) {
+func (a ALP) Find(list slots.List, req *job.Request) (*core.Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements core.ObservedFinder.
+func (ALP) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*core.Window, error) {
 	localLimit := 0.0
 	if req.MaxCost > 0 && req.TaskCount > 0 {
 		localLimit = req.MaxCost / float64(req.TaskCount)
 	}
 	var best *core.Window
-	err := core.Scan(list, req, func(start float64, cands []core.Candidate) bool {
+	err := core.ScanObserved(list, req, func(start float64, cands []core.Candidate) bool {
 		var chosen []core.Candidate
 		for _, c := range cands {
 			if localLimit > 0 && c.Cost > localLimit {
@@ -43,7 +49,7 @@ func (ALP) Find(list slots.List, req *job.Request) (*core.Window, error) {
 		}
 		best = core.NewWindow(start, chosen)
 		return true
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ import (
 
 	"slotsel/internal/core"
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/slots"
 )
 
@@ -33,9 +34,14 @@ type FirstFit struct{}
 func (FirstFit) Name() string { return "FirstFit" }
 
 // Find implements core.Algorithm.
-func (FirstFit) Find(list slots.List, req *job.Request) (*core.Window, error) {
+func (a FirstFit) Find(list slots.List, req *job.Request) (*core.Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements core.ObservedFinder.
+func (FirstFit) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*core.Window, error) {
 	var best *core.Window
-	err := core.Scan(list, req, func(start float64, cands []core.Candidate) bool {
+	err := core.ScanObserved(list, req, func(start float64, cands []core.Candidate) bool {
 		chosen := cands[:req.TaskCount]
 		cost := 0.0
 		for _, c := range chosen {
@@ -46,7 +52,7 @@ func (FirstFit) Find(list slots.List, req *job.Request) (*core.Window, error) {
 		}
 		best = core.NewWindow(start, append([]core.Candidate(nil), chosen...))
 		return true
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}

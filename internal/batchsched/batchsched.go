@@ -22,6 +22,7 @@ import (
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/parallel"
 	"slotsel/internal/slots"
 )
@@ -44,6 +45,11 @@ type Options struct {
 	// parallelism only changes wall-clock time. Negative values select
 	// GOMAXPROCS.
 	Workers int
+
+	// Collector receives instrumentation events from the stage-1 search
+	// (scan counters, spans, batch/speculation statistics). nil means
+	// observability off, at no cost.
+	Collector obs.Collector
 }
 
 // FindAlternatives runs stage 1: CSA per job in priority order over a shared
@@ -56,7 +62,7 @@ type Options struct {
 // determinism proof); the output is identical to the sequential path.
 func FindAlternatives(list slots.List, batch *job.Batch, opts Options) ([]JobAlternatives, error) {
 	ordered := batch.ByPriority()
-	alts, err := parallel.Alternatives(list, ordered, opts.CSA, normalizeWorkers(opts.Workers))
+	alts, err := parallel.AlternativesObserved(list, ordered, opts.CSA, normalizeWorkers(opts.Workers), opts.Collector)
 	if err != nil {
 		var je *parallel.JobError
 		if errors.As(err, &je) {

@@ -12,6 +12,7 @@ import (
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/parallel"
 	"slotsel/internal/persist"
 	"slotsel/internal/slots"
@@ -37,12 +38,17 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "seed for the randomized MinProcTime algorithm")
 		workers  = fs.Int("workers", 1, "worker-pool size when -alg lists several algorithms (0 = GOMAXPROCS; results are identical for any value)")
 	)
+	obsF := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *envPath == "" {
 		fmt.Fprintln(stderr, "slotfind: -env is required")
 		fs.Usage()
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintln(stderr, "slotfind: -workers must be >= 0")
 		return 2
 	}
 
@@ -77,27 +83,50 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 		req = *loaded
 	}
 
+	stats := &obs.Stats{}
+	col, err := obsF.setup("slotfind", stats, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotfind:", err)
+		return 1
+	}
+	// finish flushes the observability outputs on every exit path past this
+	// point: the stats block after the tool's normal output, then the trace
+	// file. A flush failure turns a successful run into exit 1.
+	finish := func(code int) int {
+		if obsF.stats {
+			fmt.Fprintln(stdout)
+			stats.Snapshot().WriteText(stdout)
+		}
+		if err := obsF.finish(); err != nil {
+			fmt.Fprintln(stderr, "slotfind:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		return code
+	}
+
 	if *alts {
-		found, err := csa.Search(e.Slots, &req, csa.Options{MinSlotLength: 10})
+		found, err := csa.SearchObserved(e.Slots, &req, csa.Options{MinSlotLength: 10}, col)
 		if errors.Is(err, core.ErrNoWindow) {
 			fmt.Fprintln(stdout, "no feasible window")
-			return 1
+			return finish(1)
 		}
 		if err != nil {
 			fmt.Fprintln(stderr, "slotfind:", err)
-			return 1
+			return finish(1)
 		}
 		fmt.Fprintf(stdout, "%d disjoint alternatives:\n", len(found))
 		for i, w := range found {
 			fmt.Fprintf(stdout, "  #%-3d start=%8.2f finish=%8.2f runtime=%7.2f cpu=%8.2f cost=%9.2f\n",
 				i+1, w.Start, w.Finish(), w.Runtime, w.ProcTime, w.Cost)
 		}
-		return 0
+		return finish(0)
 	}
 
 	names := strings.Split(*algName, ",")
 	if len(names) > 1 {
-		return findMany(e.Slots, &req, names, *seed, *workers, stdout, stderr)
+		return finish(findMany(e.Slots, &req, names, *seed, *workers, col, stdout, stderr))
 	}
 
 	alg, err := slotsel.AlgorithmByName(*algName, *seed)
@@ -106,21 +135,21 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	w, err := alg.Find(e.Slots, &req)
+	w, err := core.FindObserved(alg, e.Slots, &req, col)
 	if errors.Is(err, core.ErrNoWindow) {
 		fmt.Fprintln(stdout, "no feasible window")
-		return 1
+		return finish(1)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "slotfind:", err)
-		return 1
+		return finish(1)
 	}
 	if *asJSON {
 		if err := persist.WriteWindow(stdout, w); err != nil {
 			fmt.Fprintln(stderr, "slotfind:", err)
-			return 1
+			return finish(1)
 		}
-		return 0
+		return finish(0)
 	}
 	fmt.Fprintf(stdout, "%s: start=%.2f finish=%.2f runtime=%.2f cpu=%.2f cost=%.2f\n",
 		alg.Name(), w.Start, w.Finish(), w.Runtime, w.ProcTime, w.Cost)
@@ -148,14 +177,15 @@ func Slotfind(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		chart.Render(stdout)
 	}
-	return 0
+	return finish(0)
 }
 
 // findMany runs several algorithms concurrently over the shared slot list
-// (parallel.FindAll — results are identical to running them one by one) and
+// (parallel.FindAllObserved — results and counters are identical to running
+// them one by one) and
 // prints a comparison table. Exit code 0 if at least one algorithm found a
 // window, 1 if none did, 2 on a bad algorithm name.
-func findMany(list slots.List, req *job.Request, names []string, seed uint64, workers int, stdout, stderr io.Writer) int {
+func findMany(list slots.List, req *job.Request, names []string, seed uint64, workers int, col obs.Collector, stdout, stderr io.Writer) int {
 	algs := make([]core.Algorithm, 0, len(names))
 	for _, name := range names {
 		alg, err := slotsel.AlgorithmByName(strings.TrimSpace(name), seed)
@@ -167,7 +197,7 @@ func findMany(list slots.List, req *job.Request, names []string, seed uint64, wo
 	}
 	found := 0
 	t := tablefmt.New("algorithm", "start", "finish", "runtime", "cpu", "cost")
-	for _, res := range parallel.FindAll(list, req, algs, workers) {
+	for _, res := range parallel.FindAllObserved(list, req, algs, workers, col) {
 		if errors.Is(res.Err, core.ErrNoWindow) {
 			t.AddRow(res.Algorithm.Name(), "-", "-", "-", "-", "no window")
 			continue

@@ -35,6 +35,7 @@ func Slotsim(args []string, stdout, stderr io.Writer) int {
 		sweepNodes = fs.String("sweep-nodes", "", "comma-separated node counts for table1 (default: the paper's 50,100,200,300,400)")
 		sweepHoriz = fs.String("sweep-horizons", "", "comma-separated interval lengths for table2 (default: the paper's 600..3600)")
 	)
+	obsF := registerObsFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: slotsim [flags] <fig2|fig3|fig4|table1|table2|summary|ablate|tasks|frontier|hetero|deadline|batch|longrun|all>\n\n")
 		fs.PrintDefaults()
@@ -47,7 +48,18 @@ func Slotsim(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The aggregating collector feeds the quality and batch studies; the
+	// other experiments run uninstrumented (their configs have no collector
+	// seam — timing results would be skewed by instrumentation anyway).
+	agg := &experiments.ObsAgg{}
+	col, err := obsF.setup("slotsim", agg, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotsim:", err)
+		return 1
+	}
+
 	qcfg := experiments.DefaultQualityConfig()
+	qcfg.Collector = col
 	qcfg.Seed = *seed
 	qcfg.Env = qcfg.Env.WithNodeCount(*nodeCount).WithHorizon(*horizon)
 	qcfg.Request.TaskCount = *tasks
@@ -103,6 +115,7 @@ func Slotsim(args []string, stdout, stderr io.Writer) int {
 	}
 
 	bcfg := experiments.DefaultBatchStudyConfig()
+	bcfg.Collector = col
 	bcfg.Seed = *seed
 	bcfg.Env = qcfg.Env
 	bcfg.Workers = *workers
@@ -118,7 +131,6 @@ func Slotsim(args []string, stdout, stderr io.Writer) int {
 	}
 
 	s := &slotsimRun{stdout: stdout, runQuality: runQuality, csvPath: *csvPath, svgDir: *svgDir}
-	var err error
 	switch cmd := fs.Arg(0); cmd {
 	case "fig2":
 		err = s.qualityFigures(qcfg, []figSpec{
@@ -168,6 +180,13 @@ func Slotsim(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if err != nil {
+		fmt.Fprintln(stderr, "slotsim:", err)
+		return 1
+	}
+	if obsF.stats {
+		agg.Render(stdout)
+	}
+	if err := obsF.finish(); err != nil {
 		fmt.Fprintln(stderr, "slotsim:", err)
 		return 1
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/randx"
 	"slotsel/internal/slots"
 )
@@ -30,16 +31,21 @@ type AMP struct{}
 func (AMP) Name() string { return "AMP" }
 
 // Find implements Algorithm.
-func (AMP) Find(list slots.List, req *job.Request) (*Window, error) {
+func (a AMP) Find(list slots.List, req *job.Request) (*Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements ObservedFinder.
+func (AMP) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
 	var best *Window
-	err := Scan(list, req, func(start float64, cands []Candidate) bool {
+	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
 		chosen, _, ok := selectMinCost(cands, req.TaskCount, req.MaxCost)
 		if !ok {
 			return false
 		}
 		best = NewWindow(start, chosen)
 		return true // earliest start found; later positions cannot improve
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}
@@ -58,9 +64,14 @@ type MinCost struct{}
 func (MinCost) Name() string { return "MinCost" }
 
 // Find implements Algorithm.
-func (MinCost) Find(list slots.List, req *job.Request) (*Window, error) {
+func (a MinCost) Find(list slots.List, req *job.Request) (*Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements ObservedFinder.
+func (MinCost) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
 	var best *Window
-	err := Scan(list, req, func(start float64, cands []Candidate) bool {
+	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
 		chosen, cost, ok := selectMinCost(cands, req.TaskCount, req.MaxCost)
 		if !ok {
 			return false
@@ -69,7 +80,7 @@ func (MinCost) Find(list slots.List, req *job.Request) (*Window, error) {
 			best = NewWindow(start, chosen)
 		}
 		return false
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}
@@ -102,8 +113,13 @@ func (a MinRunTime) Name() string {
 
 // Find implements Algorithm.
 func (a MinRunTime) Find(list slots.List, req *job.Request) (*Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements ObservedFinder.
+func (a MinRunTime) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
 	var best *Window
-	err := Scan(list, req, func(start float64, cands []Candidate) bool {
+	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
 		var chosen []Candidate
 		var runtime float64
 		var ok bool
@@ -119,7 +135,7 @@ func (a MinRunTime) Find(list slots.List, req *job.Request) (*Window, error) {
 			best = NewWindow(start, chosen)
 		}
 		return false
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}
@@ -155,8 +171,13 @@ func (a MinFinish) Name() string {
 
 // Find implements Algorithm.
 func (a MinFinish) Find(list slots.List, req *job.Request) (*Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements ObservedFinder.
+func (a MinFinish) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
 	var best *Window
-	err := Scan(list, req, func(start float64, cands []Candidate) bool {
+	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
 		if a.EarlyStop && best != nil && start >= best.Finish() {
 			return true // every further window finishes after start >= best
 		}
@@ -175,7 +196,7 @@ func (a MinFinish) Find(list slots.List, req *job.Request) (*Window, error) {
 			best = w
 		}
 		return false
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}
@@ -202,9 +223,14 @@ func (MinProcTime) Name() string { return "MinProcTime" }
 
 // Find implements Algorithm.
 func (a MinProcTime) Find(list slots.List, req *job.Request) (*Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements ObservedFinder.
+func (a MinProcTime) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
 	rng := randx.New(a.Seed)
 	var best *Window
-	err := Scan(list, req, func(start float64, cands []Candidate) bool {
+	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
 		chosen, ok := selectRandom(cands, req.TaskCount, req.MaxCost, rng)
 		if !ok {
 			return false
@@ -214,7 +240,7 @@ func (a MinProcTime) Find(list slots.List, req *job.Request) (*Window, error) {
 			best = w
 		}
 		return false
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}
@@ -234,9 +260,14 @@ type MinProcTimeGreedy struct{}
 func (MinProcTimeGreedy) Name() string { return "MinProcTimeGreedy" }
 
 // Find implements Algorithm.
-func (MinProcTimeGreedy) Find(list slots.List, req *job.Request) (*Window, error) {
+func (a MinProcTimeGreedy) Find(list slots.List, req *job.Request) (*Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements ObservedFinder.
+func (MinProcTimeGreedy) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
 	var best *Window
-	err := Scan(list, req, func(start float64, cands []Candidate) bool {
+	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
 		chosen, total, ok := selectMinAdditiveGreedy(cands, req.TaskCount, req.MaxCost,
 			func(c Candidate) float64 { return c.Exec })
 		if !ok {
@@ -246,7 +277,7 @@ func (MinProcTimeGreedy) Find(list slots.List, req *job.Request) (*Window, error
 			best = NewWindow(start, chosen)
 		}
 		return false
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}
@@ -290,13 +321,18 @@ func (a MinEnergy) Energy(w *Window) float64 {
 
 // Find implements Algorithm.
 func (a MinEnergy) Find(list slots.List, req *job.Request) (*Window, error) {
+	return a.FindObserved(list, req, nil)
+}
+
+// FindObserved implements ObservedFinder.
+func (a MinEnergy) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
 	model := a.Model
 	if model == nil {
 		model = DefaultEnergyModel
 	}
 	var best *Window
 	var bestEnergy float64
-	err := Scan(list, req, func(start float64, cands []Candidate) bool {
+	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
 		chosen, total, ok := selectMinAdditiveGreedy(cands, req.TaskCount, req.MaxCost,
 			func(c Candidate) float64 { return model(c.Slot.Node.Perf, c.Exec) })
 		if !ok {
@@ -307,7 +343,7 @@ func (a MinEnergy) Find(list slots.List, req *job.Request) (*Window, error) {
 			bestEnergy = total
 		}
 		return false
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"slotsel/internal/job"
+	"slotsel/internal/obs"
+)
+
+// TestScanObservedCounters checks the scan counters against a hand-computed
+// workload: 4 slots, one filtered by MinPerf, the rest candidates, with
+// visits starting once 2 suitable slots overlap.
+func TestScanObservedCounters(t *testing.T) {
+	fast1, fast2 := testNode(1, 4, 1), testNode(2, 4, 1) // exec 15
+	slow := testNode(3, 2, 1)                            // filtered by MinPerf 3
+	l := sorted(slot(fast1, 0, 200), slot(slow, 10, 200), slot(fast2, 50, 200), slot(fast1, 210, 230))
+	req := job.Request{TaskCount: 2, Volume: 60, MinPerf: 3}
+
+	var stats obs.Stats
+	if err := ScanObserved(l, &req, func(float64, []Candidate) bool { return false }, &stats); err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Snapshot()
+	if snap.Scan.Scans != 1 {
+		t.Fatalf("Scans = %d, want 1", snap.Scan.Scans)
+	}
+	if snap.Scan.Slots != 4 {
+		t.Errorf("Slots = %d, want 4 (every slot examined)", snap.Scan.Slots)
+	}
+	if snap.Scan.Matched != 3 {
+		t.Errorf("Matched = %d, want 3 (slow node filtered)", snap.Scan.Matched)
+	}
+	// [210,230) is long enough for exec 15, so all three matched slots
+	// become candidates.
+	if snap.Scan.Candidates != 3 {
+		t.Errorf("Candidates = %d, want 3", snap.Scan.Candidates)
+	}
+	// Window peaks at 2: the two 200-end slots overlap; the late slot joins
+	// alone after both expired.
+	if snap.Scan.PeakWindow != 2 {
+		t.Errorf("PeakWindow = %d, want 2", snap.Scan.PeakWindow)
+	}
+	// Only the position at start 50 holds 2 candidates simultaneously.
+	if snap.Scan.Visits != 1 {
+		t.Errorf("Visits = %d, want 1", snap.Scan.Visits)
+	}
+	if snap.Scan.EarlyStops != 0 {
+		t.Errorf("EarlyStops = %d, want 0", snap.Scan.EarlyStops)
+	}
+}
+
+func TestScanObservedEarlyStop(t *testing.T) {
+	n1, n2 := testNode(1, 4, 1), testNode(2, 4, 1)
+	l := sorted(slot(n1, 0, 100), slot(n2, 0, 100), slot(n1, 150, 300), slot(n2, 150, 300))
+	req := job.Request{TaskCount: 1, Volume: 60}
+
+	var stats obs.Stats
+	if err := ScanObserved(l, &req, func(float64, []Candidate) bool { return true }, &stats); err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Snapshot()
+	if snap.Scan.EarlyStops != 1 {
+		t.Errorf("EarlyStops = %d, want 1", snap.Scan.EarlyStops)
+	}
+	if snap.Scan.Visits != 1 {
+		t.Errorf("Visits = %d, want 1", snap.Scan.Visits)
+	}
+	// The scan stopped at the first slot; later slots were never examined.
+	if snap.Scan.Slots != 1 {
+		t.Errorf("Slots = %d, want 1 (stopped after the first)", snap.Scan.Slots)
+	}
+}
+
+// TestScanObservedNilMatchesScan verifies the delegation contract: Scan and
+// ScanObserved with a nil collector visit identical positions.
+func TestScanObservedNilMatchesScan(t *testing.T) {
+	n1, n2 := testNode(1, 4, 1), testNode(2, 2, 1)
+	l := sorted(slot(n1, 0, 100), slot(n2, 10, 300), slot(n1, 150, 400))
+	req := job.Request{TaskCount: 1, Volume: 60}
+
+	var a, b []float64
+	if err := Scan(l, &req, func(start float64, _ []Candidate) bool {
+		a = append(a, start)
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ScanObserved(l, &req, func(start float64, _ []Candidate) bool {
+		b = append(b, start)
+		return false
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("visit counts differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit starts differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestFindObservedEmitsSelect checks the helper wraps any algorithm with
+// selection stats and a span, and threads scan counters for ObservedFinders.
+func TestFindObservedEmitsSelect(t *testing.T) {
+	n1, n2 := testNode(1, 4, 1), testNode(2, 4, 1)
+	l := sorted(slot(n1, 0, 100), slot(n2, 0, 100))
+	req := job.Request{TaskCount: 2, Volume: 60}
+
+	stats := &obs.Stats{}
+	tr := obs.NewTrace(16)
+	col := obs.Combine(stats, tr)
+
+	w, err := FindObserved(MinCost{}, l, &req, col)
+	if err != nil || w == nil {
+		t.Fatalf("FindObserved: %v, %v", w, err)
+	}
+	snap := stats.Snapshot()
+	sel, ok := snap.Selects["MinCost"]
+	if !ok || sel.Searches != 1 || sel.Found != 1 {
+		t.Errorf("selection stats = %+v", snap.Selects)
+	}
+	if snap.Scan.Scans != 1 {
+		t.Errorf("scan counters not threaded: %+v", snap.Scan)
+	}
+	var haveSelect, haveScan bool
+	for _, sp := range tr.Spans() {
+		switch sp.Cat {
+		case "select":
+			haveSelect = sp.Name == "MinCost"
+		case "scan":
+			haveScan = true
+		}
+	}
+	if !haveSelect || !haveScan {
+		t.Errorf("spans missing: select=%v scan=%v (%v)", haveSelect, haveScan, tr.Spans())
+	}
+}
+
+func TestInstrumentWrapsPlainAlgorithm(t *testing.T) {
+	n1 := testNode(1, 4, 1)
+	l := sorted(slot(n1, 0, 100))
+	req := job.Request{TaskCount: 1, Volume: 60}
+
+	stats := &obs.Stats{}
+	wrapped := Instrument(AMP{}, stats)
+	if wrapped.Name() != "AMP" {
+		t.Errorf("Name = %q, want AMP", wrapped.Name())
+	}
+	if _, err := wrapped.Find(l, &req); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshot().Selects["AMP"].Searches != 1 {
+		t.Error("Instrument did not record the search")
+	}
+
+	// nil collector: the algorithm must come back unchanged.
+	if got := Instrument(AMP{}, nil); got != Algorithm(AMP{}) {
+		t.Errorf("Instrument(alg, nil) = %v, want the algorithm itself", got)
+	}
+}
+
+func TestFindObservedNotFound(t *testing.T) {
+	n1 := testNode(1, 4, 1)
+	l := sorted(slot(n1, 0, 10)) // too short for exec 15
+	req := job.Request{TaskCount: 1, Volume: 60}
+
+	stats := &obs.Stats{}
+	if _, err := FindObserved(AMP{}, l, &req, stats); err != ErrNoWindow {
+		t.Fatalf("err = %v, want ErrNoWindow", err)
+	}
+	sel := stats.Snapshot().Selects["AMP"]
+	if sel.Searches != 1 || sel.Found != 0 {
+		t.Errorf("selection stats = %+v", sel)
+	}
+}
+
+// TestObservedSpanTimeline sanity-checks span timestamps: non-negative
+// start, bounded duration.
+func TestObservedSpanTimeline(t *testing.T) {
+	n1 := testNode(1, 4, 1)
+	l := sorted(slot(n1, 0, 100))
+	req := job.Request{TaskCount: 1, Volume: 60}
+
+	tr := obs.NewTrace(16)
+	if _, err := FindObserved(AMP{}, l, &req, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Start < 0 {
+			t.Errorf("span %q starts before process start: %v", sp.Name, sp.Start)
+		}
+		if sp.Dur < 0 || sp.Dur > time.Minute {
+			t.Errorf("span %q has implausible duration %v", sp.Name, sp.Dur)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/slots"
 )
 
@@ -63,6 +65,16 @@ var visitWrap func(VisitFunc) VisitFunc
 // aliasing regression tests in this package enforce that for every
 // shipped algorithm).
 func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
+	return ScanObserved(list, req, visit, nil)
+}
+
+// ScanObserved is Scan with instrumentation: the pass accumulates
+// obs.ScanStats in locals and publishes them to col — together with a
+// "scan" span — once the pass completes. col == nil means observability
+// off; the disabled path is the plain Scan plus a handful of register
+// increments, benchmark-verified (BenchmarkScanObservedOverhead) to stay
+// within the ≤2% hot-path budget.
+func ScanObserved(list slots.List, req *job.Request, visit VisitFunc, col obs.Collector) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
@@ -72,6 +84,11 @@ func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
 	if visitWrap != nil {
 		visit = visitWrap(visit)
 	}
+	var begin time.Duration
+	if col != nil {
+		begin = obs.Now()
+	}
+	var st obs.ScanStats
 
 	// window is the current extended window: slots that still can host a
 	// task for a window starting at the current position. Its size is
@@ -81,9 +98,11 @@ func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
 	var window []Candidate
 
 	for _, s := range list {
+		st.Slots++
 		if !req.Matches(s.Node) {
 			continue // the slot does not meet the requirements
 		}
+		st.Matched++
 		exec := req.ExecTime(s.Node)
 		start := s.Start
 		if effEnd(s, req) < start+exec {
@@ -98,6 +117,7 @@ func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
 			// skip this slot, not the scan.
 			continue
 		}
+		st.Candidates++
 		window = append(window, Candidate{Slot: s, Exec: exec, Cost: exec * s.Node.Price})
 
 		// Advance the window start to the newest slot's start and drop
@@ -109,12 +129,27 @@ func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
 			}
 		}
 		window = kept
+		if len(window) > st.PeakWindow {
+			st.PeakWindow = len(window)
+		}
 
 		if len(window) >= req.TaskCount {
+			st.Visits++
 			if visit(start, window) {
-				return nil
+				st.EarlyStop = true
+				break
 			}
 		}
+	}
+	if col != nil {
+		col.ScanDone(st)
+		col.Span(obs.Span{
+			Name:  "scan",
+			Cat:   "scan",
+			Start: begin,
+			Dur:   obs.Now() - begin,
+			Arg:   fmt.Sprintf("slots=%d visits=%d peak=%d", st.Slots, st.Visits, st.PeakWindow),
+		})
 	}
 	return nil
 }

@@ -11,10 +11,13 @@ package csa
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"time"
 
 	"slotsel/internal/core"
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/slots"
 )
 
@@ -38,14 +41,26 @@ type Options struct {
 // An empty result (no feasible window at all) is reported as
 // core.ErrNoWindow to match the single-window algorithms.
 func Search(list slots.List, req *job.Request, opts Options) ([]*core.Window, error) {
+	return SearchObserved(list, req, opts, nil)
+}
+
+// SearchObserved is Search with instrumentation: the repeated AMP runs emit
+// their scan counters to col, and the whole alternative search is recorded
+// as one "csa" span carrying the alternative count. col == nil behaves
+// exactly like Search.
+func SearchObserved(list slots.List, req *job.Request, opts Options, col obs.Collector) ([]*core.Window, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
+	}
+	var begin time.Duration
+	if col != nil {
+		begin = obs.Now()
 	}
 	work := list.Clone()
 	amp := core.AMP{}
 	var alts []*core.Window
 	for opts.MaxAlternatives <= 0 || len(alts) < opts.MaxAlternatives {
-		w, err := amp.Find(work, req)
+		w, err := amp.FindObserved(work, req, col)
 		if errors.Is(err, core.ErrNoWindow) {
 			break
 		}
@@ -54,6 +69,15 @@ func Search(list slots.List, req *job.Request, opts Options) ([]*core.Window, er
 		}
 		alts = append(alts, w)
 		work = slots.Cut(work, w.UsedIntervals(), opts.MinSlotLength)
+	}
+	if col != nil {
+		col.Span(obs.Span{
+			Name:  "csa.Search",
+			Cat:   "csa",
+			Start: begin,
+			Dur:   obs.Now() - begin,
+			Arg:   fmt.Sprintf("alts=%d", len(alts)),
+		})
 	}
 	if len(alts) == 0 {
 		return nil, core.ErrNoWindow

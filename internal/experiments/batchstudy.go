@@ -10,6 +10,7 @@ import (
 	"slotsel/internal/env"
 	"slotsel/internal/execsim"
 	"slotsel/internal/metrics"
+	"slotsel/internal/obs"
 	"slotsel/internal/randx"
 	"slotsel/internal/tablefmt"
 	"slotsel/internal/workload"
@@ -40,6 +41,11 @@ type BatchStudyConfig struct {
 	// the speculative worker pool (0/1 = sequential, negative = GOMAXPROCS).
 	// Any value yields the same plans; only wall-clock time changes.
 	Workers int
+
+	// Collector receives instrumentation events from all three pipelines
+	// (scan counters, batch/speculation stats, spans). nil means
+	// observability off.
+	Collector obs.Collector
 }
 
 // DefaultBatchStudyConfig returns a medium batch workload on the §3.1
@@ -95,8 +101,9 @@ func RunBatchStudy(cfg BatchStudyConfig) (*BatchStudyResult, error) {
 		// Pipeline A: the full two-stage scheme, stage 1 on the worker pool.
 		plan, err := batchsched.ScheduleOpts(e.Slots, batch,
 			batchsched.Options{
-				CSA:     csa.Options{MinSlotLength: cfg.Env.MinSlotLength, MaxAlternatives: cfg.MaxAlternatives},
-				Workers: cfg.Workers,
+				CSA:       csa.Options{MinSlotLength: cfg.Env.MinSlotLength, MaxAlternatives: cfg.MaxAlternatives},
+				Workers:   cfg.Workers,
+				Collector: cfg.Collector,
 			},
 			batchsched.SelectConfig{Budget: cfg.VOBudget, Criterion: csa.ByFinish})
 		if err != nil {
@@ -107,14 +114,16 @@ func RunBatchStudy(cfg BatchStudyConfig) (*BatchStudyResult, error) {
 		// Pipeline B: directed search — one MinCost window per job in
 		// priority order, cutting each allocation, then the same VO budget
 		// applied greedily in priority order.
-		dPlan, err := batchsched.ScheduleDirected(e.Slots, batch, cfg.VOBudget, core.MinCost{}, cfg.Env.MinSlotLength)
+		dPlan, err := batchsched.ScheduleDirected(e.Slots, batch, cfg.VOBudget,
+			core.Instrument(core.MinCost{}, cfg.Collector), cfg.Env.MinSlotLength)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: batch study directed pipeline: %w", err)
 		}
 		observeBatchPlan(directed, e, dPlan)
 
 		// Pipeline C: FCFS earliest-start, the backfilling-like policy.
-		fPlan, err := batchsched.ScheduleDirected(e.Slots, batch, cfg.VOBudget, core.AMP{}, cfg.Env.MinSlotLength)
+		fPlan, err := batchsched.ScheduleDirected(e.Slots, batch, cfg.VOBudget,
+			core.Instrument(core.AMP{}, cfg.Collector), cfg.Env.MinSlotLength)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: batch study FCFS pipeline: %w", err)
 		}

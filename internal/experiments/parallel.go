@@ -54,7 +54,7 @@ func RunQualityParallel(cfg QualityConfig, workers int) (*QualityResult, error) 
 			e := env.Generate(cfg.Env, rng)
 			req := cfg.Request
 			for _, a := range algs {
-				w, err := a.Find(e.Slots, &req)
+				w, err := core.FindObserved(a, e.Slots, &req, cfg.Collector)
 				if errors.Is(err, core.ErrNoWindow) {
 					stats[a.Name()].Missed++
 					continue
@@ -65,7 +65,7 @@ func RunQualityParallel(cfg QualityConfig, workers int) (*QualityResult, error) 
 				}
 				stats[a.Name()].Observe(w)
 			}
-			alts, err := csa.Search(e.Slots, &req, csaOpts)
+			alts, err := csa.SearchObserved(e.Slots, &req, csaOpts, cfg.Collector)
 			if errors.Is(err, core.ErrNoWindow) {
 				res.CSA.Missed++
 				continue

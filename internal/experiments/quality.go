@@ -17,6 +17,7 @@ import (
 	"slotsel/internal/env"
 	"slotsel/internal/job"
 	"slotsel/internal/metrics"
+	"slotsel/internal/obs"
 	"slotsel/internal/randx"
 )
 
@@ -37,6 +38,12 @@ type QualityConfig struct {
 	// Request is the base job (paper defaults via job.DefaultRequest:
 	// 5 slots x volume 150, budget 1500).
 	Request job.Request
+
+	// Collector receives instrumentation events from every search of the
+	// study (scan counters, per-algorithm selection stats, spans). nil
+	// means observability off. It must be safe for concurrent use when the
+	// study runs on RunQualityParallel.
+	Collector obs.Collector
 }
 
 // DefaultQualityConfig returns the §3.1 experimental setup.
@@ -148,7 +155,7 @@ func RunQuality(cfg QualityConfig) (*QualityResult, error) {
 		e := env.Generate(cfg.Env, rng)
 		req := cfg.Request // copy: algorithms must not mutate the request
 		for _, a := range algs {
-			w, err := a.Find(e.Slots, &req)
+			w, err := core.FindObserved(a, e.Slots, &req, cfg.Collector)
 			if errors.Is(err, core.ErrNoWindow) {
 				stats[a.Name()].Missed++
 				continue
@@ -158,7 +165,7 @@ func RunQuality(cfg QualityConfig) (*QualityResult, error) {
 			}
 			stats[a.Name()].Observe(w)
 		}
-		alts, err := csa.Search(e.Slots, &req, csaOpts)
+		alts, err := csa.SearchObserved(e.Slots, &req, csaOpts, cfg.Collector)
 		if errors.Is(err, core.ErrNoWindow) {
 			res.CSA.Missed++
 			continue

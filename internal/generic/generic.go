@@ -17,6 +17,7 @@ import (
 	"slotsel/internal/baseline"
 	"slotsel/internal/core"
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/slots"
 )
 
@@ -74,6 +75,11 @@ func (e Extreme) Name() string {
 
 // Find implements core.Algorithm.
 func (e Extreme) Find(list slots.List, req *job.Request) (*core.Window, error) {
+	return e.FindObserved(list, req, nil)
+}
+
+// FindObserved implements core.ObservedFinder.
+func (e Extreme) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*core.Window, error) {
 	if e.Weight == nil {
 		e.Weight = WeightProcTime
 	}
@@ -83,7 +89,7 @@ func (e Extreme) Find(list slots.List, req *job.Request) (*core.Window, error) {
 	}
 	var best *core.Window
 	bestWeight := math.Inf(1)
-	err := core.Scan(list, req, func(start float64, cands []core.Candidate) bool {
+	err := core.ScanObserved(list, req, func(start float64, cands []core.Candidate) bool {
 		var chosen []core.Candidate
 		var total float64
 		var ok bool
@@ -100,7 +106,7 @@ func (e Extreme) Find(list slots.List, req *job.Request) (*core.Window, error) {
 			best = core.NewWindow(start, chosen)
 		}
 		return false
-	})
+	}, col)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"slotsel/internal/randx"
 )
 
 // Accumulator aggregates a stream of float64 observations. The zero value is
@@ -98,21 +100,51 @@ func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", s.Count, s.Mean, s.StdDev, s.Min, s.Max)
 }
 
-// Sample retains all observations for quantile queries. The zero value is
-// ready to use.
+// Sample retains observations for quantile queries. The zero value retains
+// everything; NewReservoir returns a bounded variant that keeps a uniform
+// random subset of a stream of any length.
 type Sample struct {
 	xs     []float64
 	sorted bool
+	seen   int
+	limit  int        // 0 = unbounded
+	rng    *randx.Rand
 }
 
-// Add records one observation.
+// NewReservoir returns a Sample that retains at most capacity observations,
+// chosen uniformly from the whole stream by Algorithm R reservoir sampling.
+// Quantiles computed from the reservoir are unbiased estimates of the
+// stream's quantiles; the seed makes the retained subset deterministic. It
+// panics on a non-positive capacity.
+func NewReservoir(capacity int, seed uint64) *Sample {
+	if capacity <= 0 {
+		panic("metrics: NewReservoir needs a positive capacity")
+	}
+	return &Sample{limit: capacity, rng: randx.New(seed)}
+}
+
+// Add records one observation. In reservoir mode a full sample replaces a
+// random retained element with probability capacity/seen.
 func (s *Sample) Add(x float64) {
-	s.xs = append(s.xs, x)
-	s.sorted = false
+	s.seen++
+	if s.limit <= 0 || len(s.xs) < s.limit {
+		s.xs = append(s.xs, x)
+		s.sorted = false
+		return
+	}
+	if j := s.rng.Intn(s.seen); j < s.limit {
+		s.xs[j] = x
+		s.sorted = false
+	}
 }
 
-// Count returns the number of observations.
-func (s *Sample) Count() int { return len(s.xs) }
+// Count returns the number of observations added, including those a bounded
+// reservoir no longer retains.
+func (s *Sample) Count() int { return s.seen }
+
+// Retained returns the number of observations currently held (equal to
+// Count for an unbounded sample, at most the capacity for a reservoir).
+func (s *Sample) Retained() int { return len(s.xs) }
 
 // Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation
 // between order statistics; 0 for an empty sample.

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof starts an HTTP server exposing the net/http/pprof endpoints
+// (/debug/pprof/...) on addr and returns the bound address (useful with a
+// ":0" port) plus a stop function. The handlers are registered on a
+// private mux, so importing this package does not pollute
+// http.DefaultServeMux.
+func ServePprof(addr string) (bound string, stop func() error, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) // Serve returns when Close is called; error is expected then
+	return ln.Addr().String(), srv.Close, nil
+}

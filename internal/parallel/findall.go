@@ -3,6 +3,7 @@ package parallel
 import (
 	"slotsel/internal/core"
 	"slotsel/internal/job"
+	"slotsel/internal/obs"
 	"slotsel/internal/slots"
 )
 
@@ -33,10 +34,19 @@ type Result struct {
 //
 // for any worker count. workers <= 0 selects GOMAXPROCS.
 func FindAll(list slots.List, req *job.Request, algs []core.Algorithm, workers int) []Result {
+	return FindAllObserved(list, req, algs, workers, nil)
+}
+
+// FindAllObserved is FindAll with instrumentation: every algorithm's search
+// emits its selection stats, span and scan counters to col. Because the
+// same searches run regardless of the worker count, every counter delivered
+// through this path is worker-count-invariant (the differential tests
+// enforce this). col == nil behaves exactly like FindAll.
+func FindAllObserved(list slots.List, req *job.Request, algs []core.Algorithm, workers int, col obs.Collector) []Result {
 	out := make([]Result, len(algs))
 	ForEach(len(algs), workers, func(i int) {
 		r := *req // private copy: keep concurrent searches free of shared request state
-		w, err := algs[i].Find(list, &r)
+		w, err := core.FindObserved(algs[i], list, &r, col)
 		out[i] = Result{Algorithm: algs[i], Window: w, Err: err}
 	})
 	return out

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/job"
 	"slotsel/internal/nodes"
+	"slotsel/internal/obs"
 	"slotsel/internal/slots"
 )
 
@@ -43,26 +45,59 @@ func (e *JobError) Unwrap() error { return e.Err }
 // slice. For any worker count the output is identical, by value, to the
 // sequential path; workers <= 1 runs the sequential loop itself.
 func Alternatives(list slots.List, ordered []*job.Job, opts csa.Options, workers int) ([][]*core.Window, error) {
+	return AlternativesObserved(list, ordered, opts, workers, nil)
+}
+
+// AlternativesObserved is Alternatives with instrumentation: on success it
+// publishes one obs.BatchStats to col describing both the committed output
+// (Jobs, AltsFound, CutOps — worker-count-invariant by the determinism
+// guarantee) and the speculative work spent producing it (SpecRuns,
+// SpecCommitted, SpecDiscarded, Relaunches, TasksCut, per-worker busy
+// time — wall-clock work accounting that may vary run to run when
+// workers > 1). Worker task executions and master commits are additionally
+// recorded as "spec"/"commit" spans. Scan-level counters emitted through
+// col describe the work actually performed, speculative re-runs included,
+// so they are NOT worker-count-invariant on this path; the committed
+// quantities in BatchStats are. col == nil behaves exactly like
+// Alternatives.
+func AlternativesObserved(list slots.List, ordered []*job.Job, opts csa.Options, workers int, col obs.Collector) ([][]*core.Window, error) {
 	if workers = Workers(workers); workers <= 1 || len(ordered) <= 1 {
-		return alternativesSeq(list, ordered, opts)
+		return alternativesSeq(list, ordered, opts, col)
 	}
-	return alternativesSpec(list, ordered, opts, workers)
+	return alternativesSpec(list, ordered, opts, workers, col)
 }
 
 // alternativesSeq is the reference sequential implementation; the
 // speculative engine must match it bit for bit.
-func alternativesSeq(list slots.List, ordered []*job.Job, opts csa.Options) ([][]*core.Window, error) {
+func alternativesSeq(list slots.List, ordered []*job.Job, opts csa.Options, col obs.Collector) ([][]*core.Window, error) {
+	var begin time.Duration
+	if col != nil {
+		begin = obs.Now()
+	}
+	var st obs.BatchStats
 	work := list.Clone()
 	out := make([][]*core.Window, len(ordered))
 	for i, j := range ordered {
-		alts, err := csa.Search(work, &j.Request, opts)
+		alts, err := csa.SearchObserved(work, &j.Request, opts, col)
 		if err != nil && !errors.Is(err, core.ErrNoWindow) {
 			return nil, &JobError{Job: j, Err: err}
 		}
 		out[i] = alts
+		st.AltsFound += len(alts)
 		for _, w := range alts {
 			work = slots.Cut(work, w.UsedIntervals(), opts.MinSlotLength)
+			st.CutOps++
 		}
+	}
+	if col != nil {
+		elapsed := obs.Now() - begin
+		st.Jobs = len(ordered)
+		st.Workers = 1
+		st.SpecRuns = len(ordered)      // one authoritative search per job
+		st.SpecCommitted = len(ordered) // nothing speculative to discard
+		st.WorkerBusy = []time.Duration{elapsed}
+		st.Elapsed = elapsed
+		col.BatchDone(st)
 	}
 	return out, nil
 }
@@ -135,10 +170,14 @@ type specResult struct {
 // results (an older generation than the job's newest speculation) are
 // discarded on receipt; the queue also drops superseded and
 // already-committed tasks at pop time to keep workers off dead work.
-func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, workers int) ([][]*core.Window, error) {
+func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, workers int, col obs.Collector) ([][]*core.Window, error) {
 	k := len(ordered)
 	if workers > k {
 		workers = k
+	}
+	var begin time.Duration
+	if col != nil {
+		begin = obs.Now()
 	}
 
 	results := make([]chan specResult, k)
@@ -148,36 +187,64 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 
 	q := newSpecQueue(k)
 	search := func(snapshot slots.List, j int) ([]*core.Window, error) {
-		alts, err := csa.Search(snapshot, &ordered[j].Request, opts)
+		alts, err := csa.SearchObserved(snapshot, &ordered[j].Request, opts, col)
 		if errors.Is(err, core.ErrNoWindow) {
 			return nil, nil // no window is a valid empty alternative set
 		}
 		return alts, err
 	}
 
+	// Per-worker work accounting, indexed by worker id. Each slot is written
+	// only by its own goroutine and read by the master after wg.Wait, so no
+	// further synchronization is needed.
+	busy := make([]time.Duration, workers)
+	runs := make([]int, workers)
+
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(wk int) {
 			defer wg.Done()
 			for {
 				tk, ok := q.pop()
 				if !ok {
 					return
 				}
+				var t0 time.Duration
+				if col != nil {
+					t0 = obs.Now()
+				}
 				alts, err := search(tk.snapshot, tk.jobIdx)
+				runs[wk]++
+				if col != nil {
+					d := obs.Now() - t0
+					busy[wk] += d
+					col.Span(obs.Span{
+						Name:  fmt.Sprintf("speculate job %d", tk.jobIdx),
+						Cat:   "spec",
+						Tid:   wk + 1,
+						Start: t0,
+						Dur:   d,
+						Arg:   fmt.Sprintf("gen=%d", tk.gen),
+					})
+				}
 				results[tk.jobIdx] <- specResult{gen: tk.gen, alts: alts, err: err}
 			}
-		}()
+		}(wk)
 	}
-	defer func() {
-		q.close()
-		wg.Wait()
-	}()
+	var shutdownOnce sync.Once
+	shutdown := func() {
+		shutdownOnce.Do(func() {
+			q.close()
+			wg.Wait()
+		})
+	}
+	defer shutdown() // error paths; the success path shuts down explicitly
 
 	work := list.Clone()
 	cutNodes := make([][]*nodes.Node, 0, k) // per committed job: distinct nodes its cuts touched
 	out := make([][]*core.Window, k)
+	var st obs.BatchStats
 
 	for j := 0; j < k; j++ {
 		q.push(specTask{jobIdx: j, gen: 0, snapshot: work})
@@ -193,6 +260,7 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 			// relaunch rule makes this unreachable, but correctness must
 			// not depend on that optimization.
 			alts, err := search(work, j)
+			st.InlineRecomputes++
 			res = specResult{gen: len(cutNodes), alts: alts, err: err}
 		}
 		if res.err != nil {
@@ -201,12 +269,18 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 		out[j] = res.alts
 		q.markCommitted(j + 1)
 
+		var commitStart time.Duration
+		if col != nil {
+			commitStart = obs.Now()
+		}
+
 		// Commit: apply the cuts in discovery order (matching the
 		// sequential loop exactly) and record the touched nodes.
 		var cut []*nodes.Node
 		seen := make(map[int]bool)
 		for _, w := range res.alts {
 			work = slots.Cut(work, w.UsedIntervals(), opts.MinSlotLength)
+			st.CutOps++
 			for _, p := range w.Placements {
 				if n := p.Node(); !seen[n.ID] {
 					seen[n.ID] = true
@@ -215,6 +289,7 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 			}
 		}
 		cutNodes = append(cutNodes, cut)
+		st.AltsFound += len(res.alts)
 
 		// Relaunch every pending job whose newest speculation these cuts
 		// invalidate, against the new authoritative snapshot.
@@ -223,9 +298,38 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 			for t := j + 1; t < k; t++ {
 				if reqMatchesAny(&ordered[t].Request, cut) {
 					q.relaunch(specTask{jobIdx: t, gen: gen, snapshot: work})
+					st.Relaunches++
 				}
 			}
 		}
+		if col != nil {
+			col.Span(obs.Span{
+				Name:  fmt.Sprintf("commit job %d", j),
+				Cat:   "commit",
+				Start: commitStart,
+				Dur:   obs.Now() - commitStart,
+				Arg:   fmt.Sprintf("alts=%d", len(res.alts)),
+			})
+		}
+	}
+
+	// Shut the pool down before reading the per-worker accounting: the
+	// slices are complete only once every worker has returned, and the
+	// total-executed count must include speculations still in flight at the
+	// last commit (their results are simply never received).
+	shutdown()
+	if col != nil {
+		st.Jobs = k
+		st.Workers = workers
+		for _, r := range runs {
+			st.SpecRuns += r
+		}
+		st.SpecCommitted = k - st.InlineRecomputes
+		st.SpecDiscarded = st.SpecRuns - st.SpecCommitted
+		st.TasksCut = q.droppedCount()
+		st.WorkerBusy = busy
+		st.Elapsed = obs.Now() - begin
+		col.BatchDone(st)
 	}
 	return out, nil
 }
@@ -262,6 +366,7 @@ type specQueue struct {
 	closed    bool
 	committed int
 	newest    []int // newest pushed generation per job
+	dropped   int   // tasks dropped unexecuted (superseded or committed)
 }
 
 func newSpecQueue(jobs int) *specQueue {
@@ -308,6 +413,7 @@ func (q *specQueue) pop() (specTask, bool) {
 		kept := q.tasks[:0]
 		for _, t := range q.tasks {
 			if t.jobIdx < q.committed || t.gen < q.newest[t.jobIdx] {
+				q.dropped++
 				continue // committed or superseded: drop unexecuted
 			}
 			kept = append(kept, t)
@@ -329,6 +435,17 @@ func (q *specQueue) pop() (specTask, bool) {
 		}
 		q.cond.Wait()
 	}
+}
+
+// droppedCount returns how many queued tasks were dropped unexecuted.
+// Note: tasks still queued when the pool shuts down are not counted —
+// after the final commit markCommitted has made every remaining task
+// droppable, and the drained workers pop (and count) them on their way
+// out only if they get one more pop in before close.
+func (q *specQueue) droppedCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
 }
 
 func (q *specQueue) close() {

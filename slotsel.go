@@ -36,6 +36,7 @@ import (
 	"slotsel/internal/env"
 	"slotsel/internal/job"
 	"slotsel/internal/nodes"
+	"slotsel/internal/obs"
 	"slotsel/internal/parallel"
 	"slotsel/internal/randx"
 	"slotsel/internal/slots"
@@ -153,6 +154,40 @@ type (
 	// search.
 	FindResult = parallel.Result
 )
+
+// Observability. A nil Collector means "off" everywhere at no cost; see
+// the internal/obs package documentation for the event model.
+type (
+	// Collector receives instrumentation events (scan counters, selection
+	// stats, batch/speculation stats, trace spans).
+	Collector = obs.Collector
+
+	// StatsCollector accumulates counters; its zero value is ready to use
+	// and Snapshot().WriteText renders a plain-text report.
+	StatsCollector = obs.Stats
+
+	// TraceCollector records spans into a bounded ring buffer and exports
+	// Chrome trace_event JSON; construct with NewTraceCollector.
+	TraceCollector = obs.Trace
+)
+
+// DefaultTraceCapacity is a reasonable span capacity for NewTraceCollector
+// (the CLI tools' default).
+const DefaultTraceCapacity = obs.DefaultTraceCapacity
+
+// NewTraceCollector returns a trace sink holding at most capacity spans;
+// capacity must be positive.
+func NewTraceCollector(capacity int) *TraceCollector { return obs.NewTrace(capacity) }
+
+// CombineCollectors fans events out to several collectors, skipping nils;
+// it returns nil when nothing remains.
+func CombineCollectors(cs ...Collector) Collector { return obs.Combine(cs...) }
+
+// FindObserved runs one algorithm search with instrumentation delivered to
+// col; col == nil runs the plain search with zero added work.
+func FindObserved(alg Algorithm, list SlotList, req *Request, col Collector) (*Window, error) {
+	return core.FindObserved(alg, list, req, col)
+}
 
 // ErrNoWindow is returned when no feasible window exists.
 var ErrNoWindow = core.ErrNoWindow
