@@ -5,6 +5,14 @@
 // Usage:
 //
 //	slotgen [-nodes N] [-horizon H] [-seed S] [-o FILE] [-linear-pricing]
+//	        [-slots-only]
+//
+// The default output is a full environment snapshot for cmd/slotfind;
+// -slots-only emits a bare slot list instead. Both feed directly into the
+// scheduling service:
+//
+//	slotgen -nodes 50 -seed 7 -o env.json
+//	slotserve -addr localhost:8080 -slots env.json
 package main
 
 import (

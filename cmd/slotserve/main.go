@@ -1,0 +1,34 @@
+// Command slotserve runs the slot-inventory scheduling service: a stateful
+// HTTP front-end over one slot pool, serving concurrent find / reserve /
+// commit / release traffic with optimistic conflict detection, TTL'd holds
+// and bounded admission control.
+//
+// Usage:
+//
+//	slotserve -slots FILE [-addr HOST:PORT] [-workers N] [-queue N]
+//	          [-ttl D] [-timeout D] [-min-slot-length L]
+//	          [-stats] [-trace FILE] [-pprof ADDR]
+//
+// -slots accepts either a cmd/slotgen environment snapshot or a bare slot
+// list (cmd/slotgen -slots-only). A typical pipeline:
+//
+//	slotgen -nodes 50 -seed 7 -o env.json
+//	slotserve -addr localhost:8080 -slots env.json
+//
+// Then drive it with curl (see the README's "Running as a service"):
+//
+//	curl -s localhost:8080/v1/reserve -d '{"request":{"tasks":2,"volume":50}}'
+//	curl -s localhost:8080/v1/commit -d '{"id":"r00000001"}'
+//
+// The process drains in-flight requests and exits on SIGINT/SIGTERM.
+package main
+
+import (
+	"os"
+
+	"slotsel/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Slotserve(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"slotsel/internal/job"
+	"slotsel/internal/persist"
+	"slotsel/internal/randx"
+)
+
+// runClient is the client-mode variant of the metascheduler example: instead
+// of simulating a VO broker in-process, it submits a stream of job requests
+// to a running slotserve instance over the HTTP API, exercising the full
+// reserve → commit / release lifecycle against shared remote state. Several
+// clients may run concurrently against one server; the server's optimistic
+// conflict detection arbitrates.
+func runClient(serverURL string, jobs int, seed uint64, out io.Writer) error {
+	rng := randx.New(seed)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var committed, released, rejected int
+	for i := 0; i < jobs; i++ {
+		req := &job.Request{
+			TaskCount: rng.IntRange(1, 4),
+			Volume:    float64(rng.IntRange(20, 120)),
+			MaxCost:   1e6,
+		}
+		var reqBuf bytes.Buffer
+		if err := persist.WriteRequest(&reqBuf, req); err != nil {
+			return err
+		}
+		body, err := json.Marshal(map[string]any{
+			"request":     json.RawMessage(reqBuf.Bytes()),
+			"ttl_seconds": 30,
+		})
+		if err != nil {
+			return err
+		}
+
+		resp, err := client.Post(serverURL+"/v1/reserve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("reserve: %w", err)
+		}
+		var res struct {
+			ID    string `json:"id"`
+			Error string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusConflict:
+			rejected++
+			continue
+		case resp.StatusCode != http.StatusOK:
+			return fmt.Errorf("reserve: status %d: %s", resp.StatusCode, res.Error)
+		case decErr != nil:
+			return fmt.Errorf("reserve: %w", decErr)
+		}
+
+		// Commit most holds; walk away from every fifth so the server's
+		// release path and hold accounting see traffic too.
+		endpoint, counter := "/v1/commit", &committed
+		if i%5 == 4 {
+			endpoint, counter = "/v1/release", &released
+		}
+		idBody, _ := json.Marshal(map[string]string{"id": res.ID})
+		resp, err = client.Post(serverURL+endpoint, "application/json", bytes.NewReader(idBody))
+		if err != nil {
+			return fmt.Errorf("%s: %w", endpoint, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", endpoint, resp.StatusCode)
+		}
+		*counter++
+	}
+
+	resp, err := client.Get(serverURL + "/v1/statusz")
+	if err != nil {
+		return fmt.Errorf("statusz: %w", err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Inventory struct {
+			Version   uint64 `json:"version"`
+			FreeSlots int    `json:"free_slots"`
+			Committed int    `json:"committed"`
+		} `json:"inventory"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return fmt.Errorf("statusz: %w", err)
+	}
+
+	fmt.Fprintf(out, "submitted %d jobs against %s: %d committed, %d released, %d rejected (no window / conflict)\n",
+		jobs, serverURL, committed, released, rejected)
+	fmt.Fprintf(out, "server now at version %d: %d windows committed in total, %d free slots remain\n",
+		status.Inventory.Version, status.Inventory.Committed, status.Inventory.FreeSlots)
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"slotsel/internal/env"
+	"slotsel/internal/inventory"
+	"slotsel/internal/randx"
+	"slotsel/internal/server"
+)
+
+// TestRunClientInProcess drives the client against an in-process server:
+// the full walkthrough with no external dependencies.
+func TestRunClientInProcess(t *testing.T) {
+	e := env.Generate(env.DefaultConfig().WithNodeCount(20).WithHorizon(600), randx.New(7))
+	inv, err := inventory.New(e.Slots, inventory.Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(inv, server.Options{}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := runClient(ts.URL, 25, 3, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "submitted 25 jobs") {
+		t.Errorf("missing summary line: %q", got)
+	}
+	ctr := inv.Status().Counters
+	if ctr.Commits == 0 {
+		t.Error("client committed nothing against a fresh 20-node environment")
+	}
+	if ctr.Reserves != ctr.Commits+ctr.Releases {
+		t.Errorf("client leaked holds: %+v", ctr)
+	}
+}
+
+// TestRunClientAgainstLiveServer exercises a slotserve instance already
+// listening on localhost:8080 (as started by the README walkthrough) and
+// skips silently when none is running, so the suite stays hermetic.
+func TestRunClientAgainstLiveServer(t *testing.T) {
+	const addr = "localhost:8080"
+	conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+	if err != nil {
+		t.Skipf("no slotserve listening on %s: %v", addr, err)
+	}
+	conn.Close()
+
+	var out bytes.Buffer
+	if err := runClient("http://"+addr, 10, 11, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "submitted 10 jobs") {
+		t.Errorf("missing summary line: %q", out.String())
+	}
+}

@@ -5,16 +5,37 @@
 // scheme (CSA alternatives + combination selection) schedules the pending
 // batch, and accepted co-allocations become reservations that constrain the
 // following cycles.
+//
+// With -server URL the example switches to client mode and submits its job
+// stream to a running slotserve instance instead of simulating in-process:
+//
+//	slotgen -nodes 50 -seed 7 -o env.json
+//	slotserve -addr localhost:8080 -slots env.json &
+//	go run ./examples/metascheduler -server http://localhost:8080 -jobs 40
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"slotsel"
 )
 
 func main() {
+	server := flag.String("server", "", "slotserve base `URL`; empty runs the in-process simulation")
+	jobs := flag.Int("jobs", 40, "jobs to submit in client mode")
+	seed := flag.Uint64("seed", 7, "request-stream seed in client mode")
+	flag.Parse()
+
+	if *server != "" {
+		if err := runClient(*server, *jobs, *seed, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	cfg := slotsel.DefaultVOSimConfig()
 	cfg.Seed = 7
 	cfg.Cycles = 30

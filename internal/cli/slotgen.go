@@ -21,6 +21,7 @@ func Slotgen(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		out       = fs.String("o", "", "output file (default stdout)")
 		linear    = fs.Bool("linear-pricing", false, "use strictly linear pricing instead of the market-premium model")
+		slotsOnly = fs.Bool("slots-only", false, "emit a bare slot list (no horizon) instead of a full environment snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -42,7 +43,11 @@ func Slotgen(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		w = f
 	}
-	if err := persist.WriteEnvironment(w, e); err != nil {
+	write := func() error { return persist.WriteEnvironment(w, e) }
+	if *slotsOnly {
+		write = func() error { return persist.WriteSlotList(w, e.Slots) }
+	}
+	if err := write(); err != nil {
 		fmt.Fprintln(stderr, "slotgen:", err)
 		return 1
 	}

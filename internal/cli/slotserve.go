@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slotsel/internal/inventory"
+	"slotsel/internal/obs"
+	"slotsel/internal/persist"
+	"slotsel/internal/server"
+	"slotsel/internal/slots"
+)
+
+// slotserveTestHook, when set by a test, receives the bound address and a
+// shutdown trigger instead of the process waiting for SIGINT/SIGTERM.
+var slotserveTestHook func(addr string, shutdown func())
+
+// Slotserve runs the slot-inventory scheduling service (see cmd/slotserve).
+func Slotserve(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slotserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "localhost:8080", "listen `address`")
+		slotFile = fs.String("slots", "", "slot `file`: a cmd/slotgen environment snapshot or a bare slot list (required)")
+		workers  = fs.Int("workers", 32, "max concurrently executing requests")
+		queue    = fs.Int("queue", 64, "max requests waiting for a worker before shedding with 429")
+		ttl      = fs.Duration("ttl", 30*time.Second, "default reservation hold lifetime")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request deadline")
+		minLen   = fs.Float64("min-slot-length", 0, "drop free fragments shorter than this")
+	)
+	obsF := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *slotFile == "" {
+		fmt.Fprintln(stderr, "slotserve: -slots is required")
+		fs.Usage()
+		return 2
+	}
+
+	list, err := loadSlotFile(*slotFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotserve:", err)
+		return 1
+	}
+
+	stats := &obs.Stats{}
+	col, err := obsF.setup("slotserve", stats, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotserve:", err)
+		return 1
+	}
+
+	inv, err := inventory.New(list, inventory.Options{
+		MinSlotLength: *minLen,
+		DefaultTTL:    *ttl,
+		Collector:     col,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "slotserve:", err)
+		return 1
+	}
+	handler := server.New(inv, server.Options{
+		MaxInflight:    *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		Collector:      col,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotserve:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "slotserve: %d free slots loaded, listening on http://%s\n",
+		len(inv.Snapshot().Slots), ln.Addr())
+
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	stopc := make(chan struct{})
+	if slotserveTestHook != nil {
+		slotserveTestHook(ln.Addr().String(), func() { close(stopc) })
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sig
+			close(stopc)
+		}()
+	}
+
+	code := 0
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(stderr, "slotserve:", err)
+			code = 1
+		}
+	case <-stopc:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "slotserve: shutdown:", err)
+			code = 1
+		}
+		cancel()
+		fmt.Fprintln(stderr, "slotserve: drained, bye")
+	}
+
+	if obsF.stats {
+		stats.Snapshot().WriteText(stdout)
+	}
+	if err := obsF.finish(); err != nil {
+		fmt.Fprintln(stderr, "slotserve:", err)
+		return 1
+	}
+	return code
+}
+
+// loadSlotFile reads either a full environment snapshot (the cmd/slotgen
+// default output, recognized by its "horizon" field) or a bare slot list
+// (cmd/slotgen -slots-only, or a saved /v1/slots response).
+func loadSlotFile(path string) (slots.List, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, isEnv := probe["horizon"]; isEnv {
+		e, err := persist.ReadEnvironment(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return e.Slots, nil
+	}
+	l, err := persist.ReadSlotList(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}

@@ -1,0 +1,154 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runSlotserve(t *testing.T, args ...string) (int, string, string) {
+	return run(t, func(a []string, o, e *bytes.Buffer) int { return Slotserve(a, o, e) }, args...)
+}
+
+func TestSlotserveUsageErrors(t *testing.T) {
+	if code, _, stderr := runSlotserve(t); code != 2 || !strings.Contains(stderr, "-slots is required") {
+		t.Errorf("no args: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := runSlotserve(t, "-not-a-flag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, stderr := runSlotserve(t, "-slots", "does-not-exist.json"); code != 1 || stderr == "" {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+// TestSlotservePipeline is the end-to-end CLI walkthrough: slotgen writes a
+// snapshot (both formats), slotserve loads it, and a reserve/commit cycle
+// runs over real HTTP before a clean shutdown.
+func TestSlotservePipeline(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"environment snapshot", nil},
+		{"bare slot list", []string{"-slots-only"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			file := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "-")+".json")
+			genArgs := append([]string{"-nodes", "10", "-seed", "7", "-o", file}, tc.args...)
+			if code, _, stderr := runSlotgen(t, genArgs...); code != 0 {
+				t.Fatalf("slotgen: exit %d, stderr %q", code, stderr)
+			}
+
+			addrc := make(chan string, 1)
+			var shutdown func()
+			slotserveTestHook = func(addr string, stop func()) {
+				shutdown = stop
+				addrc <- addr
+			}
+			t.Cleanup(func() { slotserveTestHook = nil })
+
+			done := make(chan struct {
+				code   int
+				stderr string
+			}, 1)
+			go func() {
+				var out, errBuf bytes.Buffer
+				code := Slotserve([]string{"-addr", "localhost:0", "-slots", file}, &out, &errBuf)
+				done <- struct {
+					code   int
+					stderr string
+				}{code, errBuf.String()}
+			}()
+
+			addr := <-addrc
+			base := "http://" + addr
+
+			resp, err := http.Post(base+"/v1/reserve", "application/json",
+				strings.NewReader(`{"request":{"tasks":2,"volume":20,"max_cost":100000}}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || res.ID == "" {
+				t.Fatalf("reserve: status %d, id %q", resp.StatusCode, res.ID)
+			}
+
+			resp, err = http.Post(base+"/v1/commit", "application/json",
+				strings.NewReader(`{"id":"`+res.ID+`"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("commit: status %d", resp.StatusCode)
+			}
+
+			resp, err = http.Get(base + "/v1/statusz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var status struct {
+				Inventory struct {
+					Counters struct {
+						Commits uint64 `json:"commits"`
+					} `json:"counters"`
+				} `json:"inventory"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if status.Inventory.Counters.Commits != 1 {
+				t.Fatalf("statusz commits = %d, want 1", status.Inventory.Counters.Commits)
+			}
+
+			shutdown()
+			r := <-done
+			if r.code != 0 {
+				t.Fatalf("slotserve exit %d, stderr %q", r.code, r.stderr)
+			}
+			if !strings.Contains(r.stderr, "listening on") || !strings.Contains(r.stderr, "drained") {
+				t.Errorf("stderr missing lifecycle lines: %q", r.stderr)
+			}
+		})
+	}
+}
+
+// TestSlotgenSlotsOnlyFormat: -slots-only output has no horizon field and
+// parses as a bare slot list.
+func TestSlotgenSlotsOnlyFormat(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "slots.json")
+	if code, _, stderr := runSlotgen(t, "-nodes", "5", "-seed", "3", "-o", file, "-slots-only"); code != 0 {
+		t.Fatalf("slotgen: exit %d, stderr %q", code, stderr)
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := probe["horizon"]; has {
+		t.Error("-slots-only output still has a horizon field")
+	}
+	l, err := loadSlotFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) == 0 {
+		t.Fatal("empty slot list")
+	}
+}

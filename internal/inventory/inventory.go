@@ -1,0 +1,619 @@
+// Package inventory is the stateful slot pool behind the scheduling
+// service: where the library algorithms (core, csa) are one-shot functions
+// over a caller-supplied slot list, the inventory owns a long-lived pool of
+// published slots and an allocation lifecycle on top of it.
+//
+// # Lifecycle
+//
+// A reservation moves through a small state machine:
+//
+//	Reserve ──> held ──Commit──> committed            (allocation permanent)
+//	              │──Release──> freed                 (spans return to pool)
+//	              │──TTL expiry──> freed              (swept automatically)
+//	              └──node Withdraw──> cancelled       (capacity disappeared)
+//
+// Reserve runs a window search (an AEP algorithm via core.Find, or a CSA
+// alternative search via ReserveBest) against the current free snapshot and
+// places a TTL'd hold on the winning window's slots. Commit makes the hold
+// permanent; Release and expiry return the spans to the pool.
+//
+// # Concurrency model
+//
+// Reads are lock-free: the current free slot list is published as an
+// immutable copy-on-write Snapshot behind an atomic pointer, so any number
+// of searches can run concurrently against it (the slots.List immutability
+// contract makes old snapshots free). All mutations serialize on one mutex
+// and republish the snapshot. Reservation is optimistic: the search runs
+// against a possibly stale snapshot, and the hold placement re-validates
+// the window against the *current* state under the lock — a window that
+// still fits (every placement span inside the node's base capacity and
+// overlapping no live allocation) is held even if the version moved; a
+// window that no longer fits fails with ErrConflict and the caller retries
+// against the fresh snapshot.
+//
+// # Conflict-detection invariant
+//
+// All spans are half-open intervals [Start, End): two allocations on one
+// node conflict iff their intervals overlap with positive length, so
+// touching windows (one ending exactly where the next starts) are NOT a
+// conflict — the same convention slots.Interval.Overlaps and the timetable
+// use. Free capacity is always derivable as base minus allocations; holds
+// and commits never mutate the base, which is what makes Release and expiry
+// exact inverses of Reserve.
+package inventory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/csa"
+	"slotsel/internal/job"
+	"slotsel/internal/nodes"
+	"slotsel/internal/obs"
+	"slotsel/internal/slots"
+)
+
+// Errors returned by the allocation lifecycle.
+var (
+	// ErrConflict reports that a window (typically found on a stale
+	// snapshot) no longer fits the current state: a span left the base
+	// capacity or overlaps a live allocation. The caller should retry
+	// against a fresh snapshot.
+	ErrConflict = errors.New("inventory: reservation conflicts with current state")
+
+	// ErrUnknownReservation reports a Commit/Release for an ID that is not
+	// a live hold: never issued, already settled, or expired and swept.
+	ErrUnknownReservation = errors.New("inventory: unknown, expired or already settled reservation")
+
+	// ErrUnknownNode reports a Withdraw of a node with no base capacity.
+	ErrUnknownNode = errors.New("inventory: unknown node")
+)
+
+// DefaultTTL is the hold lifetime used when Options.DefaultTTL is zero and
+// a Reserve call does not specify one.
+const DefaultTTL = 30 * time.Second
+
+// Options configures an Inventory. The zero value is usable.
+type Options struct {
+	// MinSlotLength suppresses free-list fragments shorter than this when
+	// allocations are cut out of the base capacity; it should match the
+	// environment's published minimum slot length.
+	MinSlotLength float64
+
+	// DefaultTTL is the hold lifetime applied when a reserve passes ttl<=0.
+	// Zero means DefaultTTL (30s).
+	DefaultTTL time.Duration
+
+	// Record enables the operation journal (Journal/Replay) — every
+	// serialized mutation is appended with its outcome, so a concurrent run
+	// can be replayed sequentially. Off by default: the journal grows
+	// without bound.
+	Record bool
+
+	// Collector receives instrumentation (search events from the embedded
+	// core/csa searches plus "inventory" spans). nil = off.
+	Collector obs.Collector
+
+	// Clock overrides the time source for hold expiry (test seam).
+	// nil = time.Now.
+	Clock func() time.Time
+}
+
+// Snapshot is an immutable published view of the free pool. The slot list
+// follows the slots.List immutability contract: safe to search from any
+// number of goroutines, never mutated after publication.
+type Snapshot struct {
+	// Version increases with every republication of the free list.
+	Version uint64
+
+	// Slots is the free list, sorted by start time (AEP scan ready).
+	Slots slots.List
+}
+
+// Reservation is a live hold on a window's slots.
+type Reservation struct {
+	// ID names the hold for Commit/Release.
+	ID string
+
+	// Window is the held co-allocation.
+	Window *core.Window
+
+	// Version is the inventory version right after the hold was placed.
+	Version uint64
+
+	// Expires is when the hold lapses unless committed.
+	Expires time.Time
+}
+
+// Counters are the lifecycle totals since construction.
+type Counters struct {
+	// Reserves counts accepted holds.
+	Reserves uint64 `json:"reserves"`
+	// Conflicts counts reserves rejected by re-validation.
+	Conflicts uint64 `json:"conflicts"`
+	// NoWindow counts reserve searches that found no feasible window.
+	NoWindow uint64 `json:"no_window"`
+	// Commits counts holds made permanent.
+	Commits uint64 `json:"commits"`
+	// Releases counts holds released by the caller.
+	Releases uint64 `json:"releases"`
+	// Expiries counts holds swept after their TTL lapsed.
+	Expiries uint64 `json:"expiries"`
+	// Adds counts slot-list additions (including construction).
+	Adds uint64 `json:"adds"`
+	// Withdrawals counts nodes withdrawn from the pool.
+	Withdrawals uint64 `json:"withdrawals"`
+	// Cancelled counts holds dropped because a node they use withdrew.
+	Cancelled uint64 `json:"cancelled_holds"`
+}
+
+// Status is a point-in-time summary for monitoring (the /v1/statusz view).
+type Status struct {
+	Version   uint64   `json:"version"`
+	Nodes     int      `json:"nodes"`
+	FreeSlots int      `json:"free_slots"`
+	FreeSpan  float64  `json:"free_span"`
+	Holds     int      `json:"holds"`
+	Committed int      `json:"committed"`
+	Counters  Counters `json:"counters"`
+}
+
+type hold struct {
+	window  *core.Window
+	expires time.Time
+}
+
+// Inventory is a concurrency-safe, versioned slot pool with an allocation
+// lifecycle. All methods are safe for concurrent use.
+type Inventory struct {
+	opts Options
+	snap atomic.Pointer[Snapshot]
+
+	mu        sync.Mutex
+	nodes     map[int]*nodes.Node      // node registry (survives Withdraw)
+	base      map[int][]slots.Interval // capacity spans per node, merged+sorted
+	alloc     map[int][]slots.Interval // live allocation spans per node, sorted
+	holds     map[string]*hold         // TTL'd reservations
+	committed map[string]*core.Window  // permanent allocations
+	nextID    uint64
+	seq       uint64
+	journal   []Event
+	counters  Counters
+}
+
+// New builds an inventory over the given initial slot list (which may be
+// nil: capacity can arrive later via Add). The list is validated; the
+// inventory keeps its own interval bookkeeping, so the caller's list is not
+// retained or mutated.
+func New(list slots.List, opts Options) (*Inventory, error) {
+	if opts.DefaultTTL <= 0 {
+		opts.DefaultTTL = DefaultTTL
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	inv := &Inventory{
+		opts:      opts,
+		nodes:     make(map[int]*nodes.Node),
+		base:      make(map[int][]slots.Interval),
+		alloc:     make(map[int][]slots.Interval),
+		holds:     make(map[string]*hold),
+		committed: make(map[string]*core.Window),
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if err := inv.addLocked(list); err != nil {
+		return nil, err
+	}
+	inv.publishLocked()
+	return inv, nil
+}
+
+// Snapshot returns the current free pool. Lock-free: the returned value is
+// immutable and stays valid (as a stale snapshot) forever.
+func (inv *Inventory) Snapshot() *Snapshot {
+	return inv.snap.Load()
+}
+
+// Reserve searches the current snapshot with the given algorithm and places
+// a hold on the winning window. ttl<=0 means Options.DefaultTTL. Returns
+// core.ErrNoWindow when no feasible window exists on the snapshot and
+// ErrConflict when the found window lost a race to concurrent allocations.
+func (inv *Inventory) Reserve(req *job.Request, alg core.Algorithm, ttl time.Duration) (*Reservation, error) {
+	snap := inv.Snapshot()
+	w, err := core.FindObserved(alg, snap.Slots, req, inv.opts.Collector)
+	if err != nil {
+		if errors.Is(err, core.ErrNoWindow) {
+			inv.countNoWindow()
+		}
+		return nil, err
+	}
+	return inv.ReserveWindow(w, ttl)
+}
+
+// ReserveBest runs a CSA alternative search against the current snapshot,
+// picks the alternative extreme by crit and places a hold on it. maxAlts
+// bounds the search (0 = until exhaustion).
+func (inv *Inventory) ReserveBest(req *job.Request, crit csa.Criterion, maxAlts int, ttl time.Duration) (*Reservation, error) {
+	snap := inv.Snapshot()
+	alts, err := csa.SearchObserved(snap.Slots, req, csa.Options{
+		MaxAlternatives: maxAlts,
+		MinSlotLength:   inv.opts.MinSlotLength,
+	}, inv.opts.Collector)
+	if err != nil {
+		if errors.Is(err, core.ErrNoWindow) {
+			inv.countNoWindow()
+		}
+		return nil, err
+	}
+	return inv.ReserveWindow(csa.Best(alts, crit), ttl)
+}
+
+// ReserveWindow places a hold on an externally found window after
+// validating it against the current state (the optimistic re-validation
+// step: stale-snapshot windows pass iff they still fit). This is also the
+// replay primitive: the journal records the window, not the search.
+func (inv *Inventory) ReserveWindow(w *core.Window, ttl time.Duration) (*Reservation, error) {
+	if w == nil || len(w.Placements) == 0 {
+		return nil, fmt.Errorf("inventory: cannot reserve an empty window")
+	}
+	if ttl <= 0 {
+		ttl = inv.opts.DefaultTTL
+	}
+	var begin time.Duration
+	if inv.opts.Collector != nil {
+		begin = obs.Now()
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.sweepLocked()
+	ok := inv.fitsLocked(w)
+	var id string
+	if ok {
+		inv.nextID++
+		id = fmt.Sprintf("r%08d", inv.nextID)
+	}
+	inv.recordLocked(Event{Op: OpReserve, ID: id, Window: w, OK: ok})
+	if !ok {
+		inv.counters.Conflicts++
+		inv.spanLocked("inventory.Reserve", begin, "conflict")
+		return nil, ErrConflict
+	}
+	expires := inv.opts.Clock().Add(ttl)
+	inv.holds[id] = &hold{window: w, expires: expires}
+	inv.allocateLocked(w)
+	inv.counters.Reserves++
+	inv.publishLocked()
+	inv.spanLocked("inventory.Reserve", begin, id)
+	return &Reservation{ID: id, Window: w, Version: inv.snap.Load().Version, Expires: expires}, nil
+}
+
+// Commit makes the hold permanent: the window's spans stay allocated and
+// the reservation can no longer expire or be released.
+func (inv *Inventory) Commit(id string) (*core.Window, error) {
+	var begin time.Duration
+	if inv.opts.Collector != nil {
+		begin = obs.Now()
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.sweepLocked()
+	h := inv.holds[id]
+	inv.recordLocked(Event{Op: OpCommit, ID: id, OK: h != nil})
+	if h == nil {
+		return nil, ErrUnknownReservation
+	}
+	delete(inv.holds, id)
+	inv.committed[id] = h.window
+	inv.counters.Commits++
+	inv.spanLocked("inventory.Commit", begin, id)
+	return h.window, nil
+}
+
+// Release cancels a live hold and returns its spans to the free pool.
+func (inv *Inventory) Release(id string) error {
+	var begin time.Duration
+	if inv.opts.Collector != nil {
+		begin = obs.Now()
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.sweepLocked()
+	h := inv.holds[id]
+	inv.recordLocked(Event{Op: OpRelease, ID: id, OK: h != nil})
+	if h == nil {
+		return ErrUnknownReservation
+	}
+	inv.dropHoldLocked(id)
+	inv.counters.Releases++
+	inv.publishLocked()
+	inv.spanLocked("inventory.Release", begin, id)
+	return nil
+}
+
+// Add publishes additional capacity: new nodes, or further spans on known
+// nodes (a non-dedicated resource coming back). Spans merge into the base
+// capacity; overlapping or touching spans coalesce.
+func (inv *Inventory) Add(list slots.List) error {
+	if len(list) == 0 {
+		return nil
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.sweepLocked()
+	if err := inv.addLocked(list); err != nil {
+		return err
+	}
+	inv.publishLocked()
+	return nil
+}
+
+// Withdraw removes a node's base capacity mid-flight (a non-dedicated
+// resource disappearing). Live holds using the node are cancelled — all
+// their spans, on every node, return to the pool — and their IDs returned.
+// Committed allocations stay recorded: their spans remain blocked should
+// the node's capacity ever return.
+func (inv *Inventory) Withdraw(nodeID int) (cancelled []string, err error) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.sweepLocked()
+	_, known := inv.base[nodeID]
+	inv.recordLocked(Event{Op: OpWithdraw, Node: nodeID, OK: known})
+	if !known {
+		return nil, ErrUnknownNode
+	}
+	cancelled = inv.withdrawLocked(nodeID)
+	inv.publishLocked()
+	return cancelled, nil
+}
+
+// Sweep drops expired holds immediately and reports how many were swept.
+// Sweeping also happens automatically at every mutation, so calling Sweep
+// is only needed to bound the staleness of a read-mostly inventory.
+func (inv *Inventory) Sweep() int {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.sweepLocked()
+}
+
+// Status returns a consistent point-in-time summary.
+func (inv *Inventory) Status() Status {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	snap := inv.snap.Load()
+	return Status{
+		Version:   snap.Version,
+		Nodes:     len(inv.base),
+		FreeSlots: len(snap.Slots),
+		FreeSpan:  snap.Slots.TotalSpan(),
+		Holds:     len(inv.holds),
+		Committed: len(inv.committed),
+		Counters:  inv.counters,
+	}
+}
+
+// Committed returns a copy of the committed allocations keyed by
+// reservation ID. The windows are shared (immutable).
+func (inv *Inventory) Committed() map[string]*core.Window {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	out := make(map[string]*core.Window, len(inv.committed))
+	for id, w := range inv.committed {
+		out[id] = w
+	}
+	return out
+}
+
+// Holds returns the live hold IDs, sorted.
+func (inv *Inventory) Holds() []string {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	ids := make([]string, 0, len(inv.holds))
+	for id := range inv.holds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ---- internals (all require inv.mu held) ----
+
+func (inv *Inventory) countNoWindow() {
+	inv.mu.Lock()
+	inv.counters.NoWindow++
+	inv.mu.Unlock()
+}
+
+func (inv *Inventory) spanLocked(name string, begin time.Duration, arg string) {
+	if col := inv.opts.Collector; col != nil {
+		col.Span(obs.Span{Name: name, Cat: "inventory", Start: begin, Dur: obs.Now() - begin, Arg: arg})
+	}
+}
+
+// addLocked validates and merges a slot list into the base capacity,
+// recording the journal event on success.
+func (inv *Inventory) addLocked(list slots.List) error {
+	if len(list) == 0 {
+		return nil
+	}
+	if err := list.Validate(); err != nil {
+		return err
+	}
+	byNode := make(map[int][]slots.Interval)
+	for _, s := range list {
+		if inv.nodes[s.Node.ID] == nil {
+			inv.nodes[s.Node.ID] = s.Node
+		}
+		byNode[s.Node.ID] = append(byNode[s.Node.ID], s.Interval)
+	}
+	for nid, ivs := range byNode {
+		inv.base[nid] = slots.MergeIntervals(append(append([]slots.Interval(nil), inv.base[nid]...), ivs...))
+	}
+	inv.counters.Adds++
+	inv.recordLocked(Event{Op: OpAdd, Slots: list.Clone(), OK: true})
+	return nil
+}
+
+// publishLocked recomputes the free list (base minus allocations) and
+// publishes it as a fresh immutable snapshot. Node iteration is sorted so
+// the published list is a deterministic function of base+alloc — the
+// property the differential replay suite checks.
+func (inv *Inventory) publishLocked() {
+	ids := make([]int, 0, len(inv.base))
+	for id := range inv.base {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var l slots.List
+	for _, id := range ids {
+		n := inv.nodes[id]
+		for _, iv := range inv.base[id] {
+			l = append(l, &slots.Slot{Node: n, Interval: iv})
+		}
+	}
+	free := slots.Cut(l, inv.alloc, inv.opts.MinSlotLength)
+	prev := inv.snap.Load()
+	var version uint64 = 1
+	if prev != nil {
+		version = prev.Version + 1
+	}
+	inv.snap.Store(&Snapshot{Version: version, Slots: free})
+}
+
+// fitsLocked is the conflict check: every placement span must lie inside
+// the node's base capacity and overlap no live allocation — and the
+// window's own spans must not overlap each other. Intervals are half-open,
+// so a span ending exactly where another starts does not conflict.
+func (inv *Inventory) fitsLocked(w *core.Window) bool {
+	for nid, ivs := range w.UsedIntervals() {
+		for i, iv := range ivs {
+			if iv.Length() <= 0 {
+				return false
+			}
+			if !containedInAny(inv.base[nid], iv) {
+				return false
+			}
+			if overlapsAny(inv.alloc[nid], iv) {
+				return false
+			}
+			for _, other := range ivs[:i] {
+				if iv.Overlaps(other) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (inv *Inventory) allocateLocked(w *core.Window) {
+	for nid, ivs := range w.UsedIntervals() {
+		inv.alloc[nid] = insertIntervals(inv.alloc[nid], ivs)
+	}
+}
+
+// dropHoldLocked removes a hold and its allocation spans. The caller
+// publishes afterwards.
+func (inv *Inventory) dropHoldLocked(id string) {
+	h := inv.holds[id]
+	for nid, ivs := range h.window.UsedIntervals() {
+		inv.alloc[nid] = removeIntervals(inv.alloc[nid], ivs)
+		if len(inv.alloc[nid]) == 0 {
+			delete(inv.alloc, nid)
+		}
+	}
+	delete(inv.holds, id)
+}
+
+// sweepLocked expires lapsed holds in deterministic (sorted-ID) order,
+// journaling each expiry, and republishes once if anything was swept.
+func (inv *Inventory) sweepLocked() int {
+	now := inv.opts.Clock()
+	var expired []string
+	for id, h := range inv.holds {
+		if !h.expires.After(now) {
+			expired = append(expired, id)
+		}
+	}
+	if len(expired) == 0 {
+		return 0
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		inv.dropHoldLocked(id)
+		inv.counters.Expiries++
+		inv.recordLocked(Event{Op: OpExpire, ID: id, OK: true})
+	}
+	inv.publishLocked()
+	return len(expired)
+}
+
+func (inv *Inventory) withdrawLocked(nodeID int) []string {
+	delete(inv.base, nodeID)
+	var cancelled []string
+	for id, h := range inv.holds {
+		if _, uses := h.window.UsedIntervals()[nodeID]; uses {
+			cancelled = append(cancelled, id)
+		}
+	}
+	sort.Strings(cancelled)
+	for _, id := range cancelled {
+		inv.dropHoldLocked(id)
+		inv.counters.Cancelled++
+	}
+	inv.counters.Withdrawals++
+	return cancelled
+}
+
+// ---- interval helpers ----
+
+func containedInAny(spans []slots.Interval, iv slots.Interval) bool {
+	for _, s := range spans {
+		if s.Contains(iv) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapsAny(spans []slots.Interval, iv slots.Interval) bool {
+	for _, s := range spans {
+		if s.Overlaps(iv) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertIntervals adds spans keeping the list sorted by start. Allocation
+// spans are pairwise disjoint by the fitsLocked invariant, so exact-value
+// bookkeeping suffices — no merging.
+func insertIntervals(spans []slots.Interval, add []slots.Interval) []slots.Interval {
+	spans = append(spans, add...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans
+}
+
+// removeIntervals deletes spans by exact value (float64 values round-trip
+// exactly through the bookkeeping, so equality is reliable).
+func removeIntervals(spans []slots.Interval, del []slots.Interval) []slots.Interval {
+	out := spans[:0]
+	for _, s := range spans {
+		drop := false
+		for _, d := range del {
+			if s == d {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+package inventory
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/csa"
+	"slotsel/internal/job"
+	"slotsel/internal/obs"
+	"slotsel/internal/slots"
+	"slotsel/internal/testkit"
+)
+
+// fakeClock is a manually advanced time source for expiry tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// twoNodeList is a tiny deterministic pool: two nodes, one big slot each.
+func twoNodeList() slots.List {
+	a := testkit.Node(1, 5, 1) // exec(100) = 20, cost 20
+	b := testkit.Node(2, 4, 1) // exec(100) = 25, cost 25
+	return testkit.SlotList(
+		testkit.Slot(a, 0, 200),
+		testkit.Slot(b, 0, 200),
+	)
+}
+
+func smallReq(tasks int) *job.Request {
+	return &job.Request{TaskCount: tasks, Volume: 100}
+}
+
+func mustReserve(t *testing.T, inv *Inventory, req *job.Request, ttl time.Duration) *Reservation {
+	t.Helper()
+	res, err := inv.Reserve(req, core.AMP{}, ttl)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	return res
+}
+
+func TestReserveCommitLifecycle(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inv.Snapshot()
+	if before.Version != 1 || len(before.Slots) != 2 {
+		t.Fatalf("initial snapshot: version=%d slots=%d", before.Version, len(before.Slots))
+	}
+
+	res := mustReserve(t, inv, smallReq(2), time.Minute)
+	if res.Window == nil || res.Window.Size() != 2 {
+		t.Fatalf("reserved window = %v", res.Window)
+	}
+	after := inv.Snapshot()
+	if after.Version <= before.Version {
+		t.Fatalf("version did not advance: %d -> %d", before.Version, after.Version)
+	}
+	// The held spans must be gone from the published free list.
+	for _, p := range res.Window.Placements {
+		for _, s := range after.Slots {
+			if s.Node.ID == p.Node().ID && s.Overlaps(p.Used()) {
+				t.Fatalf("held span %v still free in %v", p.Used(), s)
+			}
+		}
+	}
+
+	w, err := inv.Commit(res.ID)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if testkit.WindowSignature(w) != testkit.WindowSignature(res.Window) {
+		t.Fatal("committed window differs from reserved window")
+	}
+	if _, err := inv.Commit(res.ID); !errors.Is(err, ErrUnknownReservation) {
+		t.Fatalf("double commit: got %v", err)
+	}
+	if err := inv.Release(res.ID); !errors.Is(err, ErrUnknownReservation) {
+		t.Fatalf("release after commit: got %v", err)
+	}
+	st := inv.Status()
+	if st.Committed != 1 || st.Holds != 0 || st.Counters.Commits != 1 {
+		t.Fatalf("status after commit: %+v", st)
+	}
+}
+
+func TestReleaseRestoresFreeList(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := freeSignature(inv.Snapshot().Slots)
+	res := mustReserve(t, inv, smallReq(2), time.Minute)
+	if freeSignature(inv.Snapshot().Slots) == orig {
+		t.Fatal("reserve did not change the free list")
+	}
+	if err := inv.Release(res.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := freeSignature(inv.Snapshot().Slots); got != orig {
+		t.Fatalf("release did not restore the free list:\n got %s\nwant %s", got, orig)
+	}
+	if err := inv.Release(res.ID); !errors.Is(err, ErrUnknownReservation) {
+		t.Fatalf("double release: got %v", err)
+	}
+}
+
+func TestHoldExpiry(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1, Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := freeSignature(inv.Snapshot().Slots)
+	res := mustReserve(t, inv, smallReq(1), 10*time.Second)
+	if got := res.Expires; !got.Equal(clock.now.Add(10 * time.Second)) {
+		t.Fatalf("expiry time = %v", got)
+	}
+
+	clock.Advance(9 * time.Second)
+	if n := inv.Sweep(); n != 0 {
+		t.Fatalf("swept %d holds before expiry", n)
+	}
+	clock.Advance(2 * time.Second)
+	if n := inv.Sweep(); n != 1 {
+		t.Fatalf("swept %d holds after expiry, want 1", n)
+	}
+	if got := freeSignature(inv.Snapshot().Slots); got != orig {
+		t.Fatal("expiry did not restore the free list")
+	}
+	if _, err := inv.Commit(res.ID); !errors.Is(err, ErrUnknownReservation) {
+		t.Fatalf("commit of expired hold: got %v", err)
+	}
+	if st := inv.Status(); st.Counters.Expiries != 1 {
+		t.Fatalf("expiries = %d", st.Counters.Expiries)
+	}
+}
+
+func TestExpirySweptAtNextMutation(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1, Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustReserve(t, inv, smallReq(2), time.Second)
+	clock.Advance(2 * time.Second)
+	// A later reserve over the full pool only fits because the mutation
+	// sweeps the lapsed hold first.
+	res := mustReserve(t, inv, smallReq(2), time.Minute)
+	if res == nil {
+		t.Fatal("reserve after expiry failed")
+	}
+	if st := inv.Status(); st.Counters.Expiries != 1 || st.Holds != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestStaleSnapshotRevalidation(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Search on a stale snapshot by hand: find a window, then let a
+	// competing reserve take the same spans, then try to hold the stale
+	// window.
+	snap := inv.Snapshot()
+	stale, err := core.AMP{}.Find(snap.Slots, smallReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	competing := mustReserve(t, inv, smallReq(2), time.Minute)
+	if _, err := inv.ReserveWindow(stale, time.Minute); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale overlapping window: got %v, want ErrConflict", err)
+	}
+	if st := inv.Status(); st.Counters.Conflicts != 1 {
+		t.Fatalf("conflicts = %d", st.Counters.Conflicts)
+	}
+	// After the competitor releases, the same stale window fits again:
+	// re-validation is against current state, not version equality.
+	if err := inv.Release(competing.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.ReserveWindow(stale, time.Minute); err != nil {
+		t.Fatalf("stale window after release: %v", err)
+	}
+}
+
+func TestTouchingWindowsDoNotConflict(t *testing.T) {
+	n := testkit.Node(1, 5, 1) // exec(100) = 20
+	inv, err := New(testkit.SlotList(testkit.Slot(n, 0, 200)), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mustReserve(t, inv, smallReq(1), time.Minute) // holds [0,20)
+	used := first.Window.Placements[0].Used()
+	if used.Start != 0 || used.End != 20 {
+		t.Fatalf("unexpected first hold %v", used)
+	}
+	// A second AMP reserve lands exactly at the first hold's end: touching,
+	// half-open, no conflict.
+	second := mustReserve(t, inv, smallReq(1), time.Minute)
+	used2 := second.Window.Placements[0].Used()
+	if used2.Start != used.End {
+		t.Fatalf("second hold %v does not touch first %v", used2, used)
+	}
+}
+
+func TestAddAndWithdrawChurn(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New node appears mid-flight.
+	c := testkit.Node(3, 10, 2)
+	if err := inv.Add(testkit.SlotList(testkit.Slot(c, 0, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if st := inv.Status(); st.Nodes != 3 {
+		t.Fatalf("nodes = %d after add", st.Nodes)
+	}
+
+	// A hold spanning nodes 1 and 2; withdrawing node 1 cancels it and
+	// frees its span on node 2 as well.
+	res := mustReserve(t, inv, &job.Request{TaskCount: 2, Volume: 100, MinPerf: 4}, time.Minute)
+	usesNode1 := false
+	for _, p := range res.Window.Placements {
+		if p.Node().ID == 1 {
+			usesNode1 = true
+		}
+	}
+	if !usesNode1 {
+		t.Skipf("window %v does not use node 1", res.Window)
+	}
+	cancelled, err := inv.Withdraw(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cancelled) != 1 || cancelled[0] != res.ID {
+		t.Fatalf("cancelled = %v, want [%s]", cancelled, res.ID)
+	}
+	if _, err := inv.Commit(res.ID); !errors.Is(err, ErrUnknownReservation) {
+		t.Fatalf("commit of cancelled hold: got %v", err)
+	}
+	// Node 1's capacity is gone from the pool.
+	for _, s := range inv.Snapshot().Slots {
+		if s.Node.ID == 1 {
+			t.Fatalf("withdrawn node still publishes slot %v", s)
+		}
+	}
+	if _, err := inv.Withdraw(1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("double withdraw: got %v", err)
+	}
+
+	// Returning capacity on a withdrawn node must not resurrect spans
+	// under committed allocations.
+	res2 := mustReserve(t, inv, smallReq(1), time.Minute)
+	if _, err := inv.Commit(res2.ID); err != nil {
+		t.Fatal(err)
+	}
+	nid := res2.Window.Placements[0].Node().ID
+	if _, err := inv.Withdraw(nid); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Add(testkit.SlotList(testkit.Slot(res2.Window.Placements[0].Node(), 0, 200))); err != nil {
+		t.Fatal(err)
+	}
+	used := res2.Window.Placements[0].Used()
+	for _, s := range inv.Snapshot().Slots {
+		if s.Node.ID == nid && s.Overlaps(used) {
+			t.Fatalf("committed span %v resurfaced as free slot %v", used, s)
+		}
+	}
+}
+
+func TestReserveBestByCost(t *testing.T) {
+	// Two nodes with very different prices; CSA finds one alternative per
+	// node, ReserveBest(ByCost) must hold the cheap one.
+	cheap := testkit.Node(1, 5, 0.5)
+	dear := testkit.Node(2, 5, 5)
+	inv, err := New(testkit.SlotList(
+		testkit.Slot(cheap, 0, 100),
+		testkit.Slot(dear, 0, 100),
+	), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inv.ReserveBest(smallReq(1), csa.ByCost, 0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Window.Placements[0].Node().ID; got != cheap.ID {
+		t.Fatalf("ReserveBest picked node %d, want cheap node %d", got, cheap.ID)
+	}
+}
+
+func TestReserveNoWindow(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = inv.Reserve(smallReq(5), core.AMP{}, time.Minute) // only 2 nodes
+	if !errors.Is(err, core.ErrNoWindow) {
+		t.Fatalf("got %v, want ErrNoWindow", err)
+	}
+	if st := inv.Status(); st.Counters.NoWindow != 1 {
+		t.Fatalf("no_window = %d", st.Counters.NoWindow)
+	}
+}
+
+func TestCollectorSeesReserveSpans(t *testing.T) {
+	tr := obs.NewTrace(64)
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1, Collector: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustReserve(t, inv, smallReq(1), time.Minute)
+	if _, err := inv.Commit(res.ID); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range tr.Spans() {
+		names = append(names, s.Name)
+	}
+	want := map[string]bool{"inventory.Reserve": false, "inventory.Commit": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("collector missed span %q (got %v)", n, names)
+		}
+	}
+}
+
+func TestSnapshotIsImmutableUnderMutation(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := inv.Snapshot()
+	oldSig := freeSignature(old.Slots)
+	mustReserve(t, inv, smallReq(2), time.Minute)
+	if got := freeSignature(old.Slots); got != oldSig {
+		t.Fatal("mutation changed a previously published snapshot")
+	}
+}

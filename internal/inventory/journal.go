@@ -1,0 +1,191 @@
+package inventory
+
+import (
+	"fmt"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/slots"
+)
+
+// Op identifies a journaled inventory mutation.
+type Op int
+
+// The journaled operations.
+const (
+	// OpAdd publishes capacity (including the initial list at New).
+	OpAdd Op = iota + 1
+	// OpReserve attempts a hold; OK records accept vs conflict.
+	OpReserve
+	// OpCommit settles a hold permanently; OK false = unknown/expired ID.
+	OpCommit
+	// OpRelease cancels a hold; OK false = unknown/expired ID.
+	OpRelease
+	// OpExpire sweeps one lapsed hold (recorded per hold, in sorted order).
+	OpExpire
+	// OpWithdraw removes a node's capacity; OK false = unknown node.
+	OpWithdraw
+)
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpReserve:
+		return "reserve"
+	case OpCommit:
+		return "commit"
+	case OpRelease:
+		return "release"
+	case OpExpire:
+		return "expire"
+	case OpWithdraw:
+		return "withdraw"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Event is one serialized mutation with its outcome. The journal order is
+// exactly the mutex-serialization order of the live run, which is what
+// makes sequential replay reproduce the concurrent run's final state.
+type Event struct {
+	// Seq is the 1-based serialization index.
+	Seq uint64
+
+	// Op is the mutation kind.
+	Op Op
+
+	// ID is the reservation ID (reserve/commit/release/expire). Empty for
+	// a rejected reserve: conflicts consume no ID.
+	ID string
+
+	// Node is the withdrawn node (OpWithdraw only).
+	Node int
+
+	// OK is the outcome: reserve accepted, commit/release found its hold,
+	// withdraw found its node.
+	OK bool
+
+	// Window is the attempted window (OpReserve only). Immutable.
+	Window *core.Window
+
+	// Slots is the added capacity (OpAdd only; a private clone).
+	Slots slots.List
+}
+
+// recordLocked appends an event when journaling is enabled.
+func (inv *Inventory) recordLocked(ev Event) {
+	if !inv.opts.Record {
+		return
+	}
+	inv.seq++
+	ev.Seq = inv.seq
+	inv.journal = append(inv.journal, ev)
+}
+
+// Journal returns a copy of the recorded events (empty unless
+// Options.Record is set).
+func (inv *Inventory) Journal() []Event {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return append([]Event(nil), inv.journal...)
+}
+
+// Replay applies a recorded journal sequentially to a fresh inventory and
+// verifies that every operation reproduces its recorded outcome. It returns
+// the rebuilt inventory, whose final state must equal the live run's — the
+// determinism property of the conflict-resolution logic: outcomes depend
+// only on the serialized operation sequence, never on timing, map order or
+// goroutine interleaving.
+//
+// Expiry is replayed from the journal (OpExpire events), not from the
+// clock: replayed holds never lapse on their own.
+func Replay(events []Event, opts Options) (*Inventory, error) {
+	opts.Record = false
+	opts.Collector = nil
+	frozen := time.Unix(0, 0)
+	opts.Clock = func() time.Time { return frozen }
+	opts.DefaultTTL = time.Hour
+	inv, err := New(nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range events {
+		if err := inv.apply(ev); err != nil {
+			return nil, fmt.Errorf("inventory: replay diverged at seq %d (%s): %w", ev.Seq, ev.Op, err)
+		}
+	}
+	return inv, nil
+}
+
+// apply re-executes one journaled operation and checks the outcome.
+func (inv *Inventory) apply(ev Event) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	switch ev.Op {
+	case OpAdd:
+		if err := inv.addLocked(ev.Slots); err != nil {
+			return err
+		}
+		inv.publishLocked()
+	case OpReserve:
+		ok := ev.Window != nil && len(ev.Window.Placements) > 0 && inv.fitsLocked(ev.Window)
+		if ok != ev.OK {
+			return fmt.Errorf("reserve fit=%v, recorded %v", ok, ev.OK)
+		}
+		if !ok {
+			inv.counters.Conflicts++
+			return nil
+		}
+		if ev.ID == "" {
+			return fmt.Errorf("accepted reserve without an ID")
+		}
+		inv.holds[ev.ID] = &hold{window: ev.Window, expires: inv.opts.Clock().Add(inv.opts.DefaultTTL)}
+		inv.allocateLocked(ev.Window)
+		inv.counters.Reserves++
+		inv.publishLocked()
+	case OpCommit:
+		h := inv.holds[ev.ID]
+		if (h != nil) != ev.OK {
+			return fmt.Errorf("commit found=%v, recorded %v", h != nil, ev.OK)
+		}
+		if h == nil {
+			return nil
+		}
+		delete(inv.holds, ev.ID)
+		inv.committed[ev.ID] = h.window
+		inv.counters.Commits++
+	case OpRelease:
+		h := inv.holds[ev.ID]
+		if (h != nil) != ev.OK {
+			return fmt.Errorf("release found=%v, recorded %v", h != nil, ev.OK)
+		}
+		if h == nil {
+			return nil
+		}
+		inv.dropHoldLocked(ev.ID)
+		inv.counters.Releases++
+		inv.publishLocked()
+	case OpExpire:
+		if inv.holds[ev.ID] == nil {
+			return fmt.Errorf("expire of unknown hold %q", ev.ID)
+		}
+		inv.dropHoldLocked(ev.ID)
+		inv.counters.Expiries++
+		inv.publishLocked()
+	case OpWithdraw:
+		_, known := inv.base[ev.Node]
+		if known != ev.OK {
+			return fmt.Errorf("withdraw known=%v, recorded %v", known, ev.OK)
+		}
+		if !known {
+			return nil
+		}
+		inv.withdrawLocked(ev.Node)
+		inv.publishLocked()
+	default:
+		return fmt.Errorf("unknown op %v", ev.Op)
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"slotsel/internal/core"
 	"slotsel/internal/env"
@@ -106,6 +107,86 @@ func ReadEnvironment(r io.Reader) (*env.Environment, error) {
 		return nil, fmt.Errorf("persist: invalid snapshot: %w", err)
 	}
 	return e, nil
+}
+
+// slotListJSON is the serialized bare slot list: the environment format
+// minus the horizon. It is the wire format shared by cmd/slotgen
+// (-slots-only) and the scheduling server's /v1/slots endpoint.
+type slotListJSON struct {
+	Version int        `json:"version"`
+	Nodes   []nodeJSON `json:"nodes"`
+	Slots   []slotJSON `json:"slots"`
+}
+
+// WriteSlotList serializes a bare slot list as indented JSON. The distinct
+// nodes referenced by the slots are embedded (sorted by ID) so the list is
+// self-contained.
+func WriteSlotList(w io.Writer, l slots.List) error {
+	out := slotListJSON{Version: FormatVersion}
+	seen := make(map[int]bool)
+	var ns []*nodes.Node
+	for _, s := range l {
+		if s == nil || s.Node == nil {
+			return fmt.Errorf("persist: slot list contains a nil slot or node")
+		}
+		if !seen[s.Node.ID] {
+			seen[s.Node.ID] = true
+			ns = append(ns, s.Node)
+		}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	for _, n := range ns {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			ID: n.ID, Perf: n.Perf, Price: n.Price,
+			RAMMB: n.RAMMB, DiskGB: n.DiskGB,
+			OS: string(n.OS), Arch: string(n.Arch),
+		})
+	}
+	for _, s := range l {
+		out.Slots = append(out.Slots, slotJSON{Node: s.Node.ID, Start: s.Start, End: s.End})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSlotList deserializes a bare slot list, re-links slots to the
+// embedded nodes, sorts by start time and validates structural invariants.
+func ReadSlotList(r io.Reader) (slots.List, error) {
+	var in slotListJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decoding slot list: %w", err)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported slot list version %d (want %d)", in.Version, FormatVersion)
+	}
+	byID := make(map[int]*nodes.Node, len(in.Nodes))
+	for _, nj := range in.Nodes {
+		if byID[nj.ID] != nil {
+			return nil, fmt.Errorf("persist: duplicate node ID %d", nj.ID)
+		}
+		byID[nj.ID] = &nodes.Node{
+			ID: nj.ID, Perf: nj.Perf, Price: nj.Price,
+			RAMMB: nj.RAMMB, DiskGB: nj.DiskGB,
+			OS: nodes.OS(nj.OS), Arch: nodes.Arch(nj.Arch),
+		}
+	}
+	var l slots.List
+	for _, sj := range in.Slots {
+		n := byID[sj.Node]
+		if n == nil {
+			return nil, fmt.Errorf("persist: slot references unknown node %d", sj.Node)
+		}
+		l = append(l, &slots.Slot{
+			Node:     n,
+			Interval: slots.Interval{Start: sj.Start, End: sj.End},
+		})
+	}
+	l.SortByStart()
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: invalid slot list: %w", err)
+	}
+	return l, nil
 }
 
 // requestJSON mirrors job.Request.

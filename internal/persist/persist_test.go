@@ -168,3 +168,74 @@ func TestReadWindowRejectsEmpty(t *testing.T) {
 		t.Error("empty window accepted")
 	}
 }
+
+func TestSlotListRoundTrip(t *testing.T) {
+	e := testkit.SmallEnv(3, 15, 400)
+	var buf bytes.Buffer
+	if err := WriteSlotList(&buf, e.Slots); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSlotList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(e.Slots) {
+		t.Fatalf("%d slots after round trip, want %d", len(got), len(e.Slots))
+	}
+	for i := range e.Slots {
+		if got[i].Interval != e.Slots[i].Interval || got[i].Node.ID != e.Slots[i].Node.ID {
+			t.Fatalf("slot %d differs: %v vs %v", i, got[i], e.Slots[i])
+		}
+		if *got[i].Node != *e.Slots[i].Node {
+			t.Fatalf("node of slot %d differs: %v vs %v", i, got[i].Node, e.Slots[i].Node)
+		}
+	}
+	if !got.IsSortedByStart() {
+		t.Error("deserialized list not sorted by start")
+	}
+	// Slots on one node must share a single node object after relinking.
+	byID := map[int]*nodes.Node{}
+	for _, s := range got {
+		if prev, ok := byID[s.Node.ID]; ok && prev != s.Node {
+			t.Fatalf("node %d not shared between its slots", s.Node.ID)
+		}
+		byID[s.Node.ID] = s.Node
+	}
+}
+
+func TestSlotListRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSlotList(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSlotList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty list round-tripped to %d slots", len(got))
+	}
+}
+
+func TestReadSlotListRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"wrong version": `{"version": 99, "nodes": [], "slots": []}`,
+		"unknown node":  `{"version": 1, "nodes": [], "slots": [{"node": 7, "start": 0, "end": 10}]}`,
+		"duplicate node": `{"version": 1,
+			"nodes": [{"id":1,"perf":2,"price":1},{"id":1,"perf":3,"price":1}], "slots": []}`,
+		"overlapping slots": `{"version": 1,
+			"nodes": [{"id":1,"perf":2,"price":1}],
+			"slots": [{"node":1,"start":0,"end":50},{"node":1,"start":40,"end":90}]}`,
+		"zero-length slot": `{"version": 1,
+			"nodes": [{"id":1,"perf":2,"price":1}],
+			"slots": [{"node":1,"start":10,"end":10}]}`,
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadSlotList(strings.NewReader(input)); err == nil {
+				t.Error("bad input accepted")
+			}
+		})
+	}
+}

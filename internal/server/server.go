@@ -1,0 +1,438 @@
+// Package server exposes the slot inventory as an HTTP JSON scheduling
+// API — the front-end a grid metascheduler offers its users:
+//
+//	POST /v1/find     stateless window search on the current snapshot
+//	POST /v1/reserve  search + TTL'd hold (the optimistic first phase)
+//	POST /v1/commit   make a hold permanent
+//	POST /v1/release  cancel a hold
+//	GET  /v1/slots    current free slot list (persist slot-list format)
+//	GET  /v1/statusz  inventory + server status JSON
+//
+// Request and window payloads reuse the internal/persist wire encodings,
+// so snapshots written by cmd/slotgen and windows printed by cmd/slotfind
+// interoperate with the service unchanged.
+//
+// # Admission control
+//
+// Every request passes a bounded admission gate: at most MaxInflight
+// requests execute concurrently and at most QueueDepth more wait for a
+// slot; anything beyond that is shed immediately with 429 and a
+// Retry-After header, so overload degrades by load shedding rather than by
+// unbounded goroutine/queue growth. Admitted requests run under a
+// per-request deadline (RequestTimeout).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"slotsel"
+	"slotsel/internal/core"
+	"slotsel/internal/csa"
+	"slotsel/internal/inventory"
+	"slotsel/internal/obs"
+	"slotsel/internal/persist"
+)
+
+// Options configures the HTTP front-end. The zero value gets sensible
+// defaults.
+type Options struct {
+	// MaxInflight caps concurrently executing requests. Default 32.
+	MaxInflight int
+
+	// QueueDepth caps requests waiting for an execution slot; beyond it
+	// requests are shed with 429. Default 64.
+	QueueDepth int
+
+	// RequestTimeout is the per-request deadline (also bounds queue wait).
+	// Default 5s.
+	RequestTimeout time.Duration
+
+	// Collector receives one "http" span per admitted request. nil = off.
+	Collector obs.Collector
+}
+
+// Server is the HTTP handler over one Inventory.
+type Server struct {
+	inv  *inventory.Inventory
+	opts Options
+	mux  *http.ServeMux
+
+	inflight chan struct{}
+	queued   atomic.Int64
+	requests atomic.Uint64
+	shed     atomic.Uint64
+
+	// testHook, when set, runs inside the admission-guarded section of
+	// every request — the seam the overload tests use to keep handlers
+	// busy deterministically.
+	testHook func()
+}
+
+// New builds the handler. The inventory must be non-nil.
+func New(inv *inventory.Inventory, opts Options) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 32
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 5 * time.Second
+	}
+	s := &Server{
+		inv:      inv,
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		inflight: make(chan struct{}, opts.MaxInflight),
+	}
+	s.mux.HandleFunc("/v1/find", s.post(s.handleFind))
+	s.mux.HandleFunc("/v1/reserve", s.post(s.handleReserve))
+	s.mux.HandleFunc("/v1/commit", s.post(s.handleCommit))
+	s.mux.HandleFunc("/v1/release", s.post(s.handleRelease))
+	s.mux.HandleFunc("/v1/slots", s.get(s.handleSlots))
+	s.mux.HandleFunc("/v1/statusz", s.get(s.handleStatusz))
+	return s
+}
+
+// ServeHTTP implements http.Handler: admission gate, deadline, metrics,
+// then dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	if !s.admit(ctx) {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+		return
+	}
+	defer func() { <-s.inflight }()
+	if s.testHook != nil {
+		s.testHook()
+	}
+	if ctx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded in queue")
+		return
+	}
+	var begin time.Duration
+	if s.opts.Collector != nil {
+		begin = obs.Now()
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	if col := s.opts.Collector; col != nil {
+		col.Span(obs.Span{
+			Name:  "http " + r.URL.Path,
+			Cat:   "http",
+			Start: begin,
+			Dur:   obs.Now() - begin,
+			Arg:   strconv.Itoa(sw.code),
+		})
+	}
+}
+
+// admit implements the bounded queue: immediate entry when an execution
+// slot is free; otherwise wait in the bounded queue until a slot frees or
+// the deadline passes; shed when the queue itself is full.
+func (s *Server) admit(ctx context.Context) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	if s.queued.Add(1) > int64(s.opts.QueueDepth) {
+		s.queued.Add(-1)
+		return false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// statusWriter records the response code for the request span.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+		h(w, r)
+	}
+}
+
+func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// searchBody is the shared request payload of /v1/find and /v1/reserve.
+type searchBody struct {
+	// Request is the resource request in the persist wire encoding.
+	Request json.RawMessage `json:"request"`
+
+	// Alg names the selection algorithm (slotsel.AlgorithmByName);
+	// default "amp". Ignored when CSA is set.
+	Alg string `json:"alg,omitempty"`
+
+	// CSA, when non-empty, switches reserve to a CSA alternative search
+	// selecting by this criterion: start|finish|cost|runtime|proctime.
+	CSA string `json:"csa,omitempty"`
+
+	// TTLSeconds is the hold lifetime for /v1/reserve; 0 = server default.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (*searchBody, *searchInputs, bool) {
+	var body searchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return nil, nil, false
+	}
+	if len(body.Request) == 0 {
+		writeError(w, http.StatusBadRequest, `missing "request" field`)
+		return nil, nil, false
+	}
+	req, err := persist.ReadRequest(bytes.NewReader(body.Request))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, nil, false
+	}
+	in := &searchInputs{req: req}
+	if body.CSA != "" {
+		crit, ok := criterionByName(body.CSA)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown CSA criterion %q", body.CSA))
+			return nil, nil, false
+		}
+		in.useCSA, in.crit = true, crit
+	} else {
+		name := body.Alg
+		if name == "" {
+			name = "amp"
+		}
+		alg, err := slotsel.AlgorithmByName(name, 1)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return nil, nil, false
+		}
+		in.alg = alg
+	}
+	if body.TTLSeconds < 0 {
+		writeError(w, http.StatusBadRequest, "ttl_seconds must be >= 0")
+		return nil, nil, false
+	}
+	in.ttl = time.Duration(body.TTLSeconds * float64(time.Second))
+	return &body, in, true
+}
+
+type searchInputs struct {
+	req    *slotsel.Request
+	alg    core.Algorithm
+	useCSA bool
+	crit   csa.Criterion
+	ttl    time.Duration
+}
+
+func criterionByName(name string) (csa.Criterion, bool) {
+	for _, c := range []csa.Criterion{csa.ByStart, csa.ByFinish, csa.ByCost, csa.ByRuntime, csa.ByProcTime} {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// handleFind is the stateless search: nothing is held.
+func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
+	_, in, ok := s.decodeSearch(w, r)
+	if !ok {
+		return
+	}
+	snap := s.inv.Snapshot()
+	var win *core.Window
+	var err error
+	if in.useCSA {
+		var alts []*core.Window
+		alts, err = csa.Search(snap.Slots, in.req, csa.Options{})
+		if err == nil {
+			win = csa.Best(alts, in.crit)
+		}
+	} else {
+		win, err = in.alg.Find(snap.Slots, in.req)
+	}
+	if errors.Is(err, core.ErrNoWindow) {
+		writeError(w, http.StatusNotFound, "no feasible window")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": snap.Version,
+		"window":  windowJSON(win),
+	})
+}
+
+func (s *Server) handleReserve(w http.ResponseWriter, r *http.Request) {
+	_, in, ok := s.decodeSearch(w, r)
+	if !ok {
+		return
+	}
+	var res *inventory.Reservation
+	var err error
+	if in.useCSA {
+		res, err = s.inv.ReserveBest(in.req, in.crit, 0, in.ttl)
+	} else {
+		res, err = s.inv.Reserve(in.req, in.alg, in.ttl)
+	}
+	switch {
+	case errors.Is(err, core.ErrNoWindow):
+		writeError(w, http.StatusNotFound, "no feasible window")
+		return
+	case errors.Is(err, inventory.ErrConflict):
+		writeError(w, http.StatusConflict, "lost the race for those slots, retry")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      res.ID,
+		"version": res.Version,
+		"expires": res.Expires.UTC().Format(time.RFC3339Nano),
+		"window":  windowJSON(res.Window),
+	})
+}
+
+// idBody is the payload of /v1/commit and /v1/release.
+type idBody struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) decodeID(w http.ResponseWriter, r *http.Request) (string, bool) {
+	var body idBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return "", false
+	}
+	if body.ID == "" {
+		writeError(w, http.StatusBadRequest, `missing "id" field`)
+		return "", false
+	}
+	return body.ID, true
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.decodeID(w, r)
+	if !ok {
+		return
+	}
+	win, err := s.inv.Commit(id)
+	if errors.Is(err, inventory.ErrUnknownReservation) {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     id,
+		"window": windowJSON(win),
+	})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.decodeID(w, r)
+	if !ok {
+		return
+	}
+	err := s.inv.Release(id)
+	if errors.Is(err, inventory.ErrUnknownReservation) {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "released": true})
+}
+
+func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
+	s.inv.Sweep() // bound snapshot staleness on read-only traffic
+	snap := s.inv.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Inventory-Version", strconv.FormatUint(snap.Version, 10))
+	if err := persist.WriteSlotList(w, snap.Slots); err != nil {
+		// Headers are out; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	s.inv.Sweep()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"inventory": s.inv.Status(),
+		"server": map[string]any{
+			"requests": s.requests.Load(),
+			"shed":     s.shed.Load(),
+			"inflight": len(s.inflight),
+			"queued":   s.queued.Load(),
+		},
+	})
+}
+
+// windowJSON renders a window through the persist wire encoding as a raw
+// message, so every endpoint emits the same window shape as cmd/slotfind
+// -json.
+func windowJSON(w *core.Window) json.RawMessage {
+	var buf bytes.Buffer
+	if err := persist.WriteWindow(&buf, w); err != nil {
+		return json.RawMessage(`null`)
+	}
+	return json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,528 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slotsel/internal/inventory"
+	"slotsel/internal/job"
+	"slotsel/internal/obs"
+	"slotsel/internal/persist"
+	"slotsel/internal/testkit"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server, *inventory.Inventory) {
+	t.Helper()
+	list := testkit.SlotList(
+		testkit.Slot(testkit.Node(0, 5, 1), 0, 200),
+		testkit.Slot(testkit.Node(1, 4, 1), 0, 200),
+		testkit.Slot(testkit.Node(2, 3, 1), 0, 200),
+	)
+	inv, err := inventory.New(list, inventory.Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(inv, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, inv
+}
+
+func requestJSON(t *testing.T, tasks int, volume float64) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := persist.WriteRequest(&buf, &job.Request{TaskCount: tasks, Volume: volume, MaxCost: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func fieldString(t *testing.T, m map[string]json.RawMessage, key string) string {
+	t.Helper()
+	var s string
+	if err := json.Unmarshal(m[key], &s); err != nil {
+		t.Fatalf("field %q: %v (raw %s)", key, err, m[key])
+	}
+	return s
+}
+
+// TestLifecycleWalkthrough drives the documented find → reserve → commit →
+// release sequence end to end over real HTTP.
+func TestLifecycleWalkthrough(t *testing.T) {
+	_, ts, inv := newTestServer(t, Options{})
+	req := requestJSON(t, 2, 50)
+
+	code, out := postJSON(t, ts.URL+"/v1/find", map[string]any{"request": req})
+	if code != http.StatusOK {
+		t.Fatalf("find: status %d: %v", code, out)
+	}
+	if len(out["window"]) == 0 {
+		t.Fatal("find: no window in response")
+	}
+
+	code, out = postJSON(t, ts.URL+"/v1/reserve", map[string]any{"request": req, "ttl_seconds": 60})
+	if code != http.StatusOK {
+		t.Fatalf("reserve: status %d: %v", code, out)
+	}
+	id := fieldString(t, out, "id")
+	if id == "" {
+		t.Fatal("reserve: empty reservation id")
+	}
+
+	code, out = postJSON(t, ts.URL+"/v1/commit", map[string]any{"id": id})
+	if code != http.StatusOK {
+		t.Fatalf("commit: status %d: %v", code, out)
+	}
+
+	// Double-commit must 404: the hold is gone.
+	code, _ = postJSON(t, ts.URL+"/v1/commit", map[string]any{"id": id})
+	if code != http.StatusNotFound {
+		t.Fatalf("double commit: status %d, want 404", code)
+	}
+
+	// A second reserve+release round-trips too.
+	code, out = postJSON(t, ts.URL+"/v1/reserve", map[string]any{"request": req})
+	if code != http.StatusOK {
+		t.Fatalf("reserve 2: status %d: %v", code, out)
+	}
+	id2 := fieldString(t, out, "id")
+	code, _ = postJSON(t, ts.URL+"/v1/release", map[string]any{"id": id2})
+	if code != http.StatusOK {
+		t.Fatalf("release: status %d", code)
+	}
+
+	if got := inv.Status().Counters; got.Commits != 1 || got.Releases != 1 || got.Reserves != 2 {
+		t.Fatalf("counters = %+v, want 2 reserves / 1 commit / 1 release", got)
+	}
+}
+
+// TestSlotsAndStatusz checks the read-only endpoints: /v1/slots emits a
+// parseable persist slot list that shrinks after a commit, /v1/statusz
+// reports inventory and server sections.
+func TestSlotsAndStatusz(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+
+	resp, err := http.Get(ts.URL + "/v1/slots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := persist.ReadSlotList(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("slots: %v", err)
+	}
+	if len(before) != 3 {
+		t.Fatalf("got %d free slots, want 3", len(before))
+	}
+	if resp.Header.Get("X-Inventory-Version") == "" {
+		t.Fatal("missing X-Inventory-Version header")
+	}
+
+	code, out := postJSON(t, ts.URL+"/v1/reserve", map[string]any{"request": requestJSON(t, 2, 50)})
+	if code != http.StatusOK {
+		t.Fatalf("reserve: %d", code)
+	}
+	postJSON(t, ts.URL+"/v1/commit", map[string]any{"id": fieldString(t, out, "id")})
+
+	resp, err = http.Get(ts.URL + "/v1/slots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := persist.ReadSlotList(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed spans must be gone: total free capacity shrinks.
+	var totalBefore, totalAfter float64
+	for _, s := range before {
+		totalBefore += s.End - s.Start
+	}
+	for _, s := range after {
+		totalAfter += s.End - s.Start
+	}
+	if totalAfter >= totalBefore {
+		t.Fatalf("free capacity did not shrink after commit: %g -> %g", totalBefore, totalAfter)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Inventory inventory.Status `json:"inventory"`
+		Server    struct {
+			Requests uint64 `json:"requests"`
+			Shed     uint64 `json:"shed"`
+		} `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Inventory.Counters.Commits != 1 {
+		t.Fatalf("statusz commits = %d, want 1", status.Inventory.Counters.Commits)
+	}
+	if status.Server.Requests == 0 {
+		t.Fatal("statusz server.requests is zero")
+	}
+}
+
+// TestErrorPaths exercises the 4xx surface: bad bodies, unknown algorithms,
+// wrong methods, unknown reservations, infeasible requests.
+func TestErrorPaths(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+
+	for _, tc := range []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"garbage body", "/v1/find", "not json", http.StatusBadRequest},
+		{"missing request", "/v1/find", map[string]any{}, http.StatusBadRequest},
+		{"unknown alg", "/v1/find", map[string]any{"request": requestJSON(t, 1, 10), "alg": "nope"}, http.StatusBadRequest},
+		{"unknown csa criterion", "/v1/reserve", map[string]any{"request": requestJSON(t, 1, 10), "csa": "vibes"}, http.StatusBadRequest},
+		{"negative ttl", "/v1/reserve", map[string]any{"request": requestJSON(t, 1, 10), "ttl_seconds": -1}, http.StatusBadRequest},
+		{"infeasible", "/v1/find", map[string]any{"request": requestJSON(t, 50, 10)}, http.StatusNotFound},
+		{"unknown commit id", "/v1/commit", map[string]any{"id": "r99999999"}, http.StatusNotFound},
+		{"unknown release id", "/v1/release", map[string]any{"id": "r99999999"}, http.StatusNotFound},
+		{"empty id", "/v1/commit", map[string]any{}, http.StatusBadRequest},
+	} {
+		code, _ := postJSON(t, ts.URL+tc.url, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/find")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/find: status %d, want 405", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/slots", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/slots: status %d, want 405", resp2.StatusCode)
+	}
+}
+
+// TestCSAReserve reserves via the CSA alternative search selecting by cost.
+func TestCSAReserve(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	code, out := postJSON(t, ts.URL+"/v1/reserve", map[string]any{
+		"request": requestJSON(t, 2, 50),
+		"csa":     "cost",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("csa reserve: status %d: %v", code, out)
+	}
+	if fieldString(t, out, "id") == "" {
+		t.Fatal("empty id")
+	}
+}
+
+// placement mirrors the persist window placement for overlap checking.
+type placement struct {
+	Node  int     `json:"node"`
+	Start float64 `json:"start"`
+	Exec  float64 `json:"exec"`
+}
+
+type wireWindow struct {
+	Placements []placement `json:"placements"`
+}
+
+// TestConcurrentNoDoubleBooking is the server-level race acceptance test:
+// many concurrent clients reserve and commit against one inventory; the
+// committed windows must be pairwise disjoint per node (half-open
+// intervals), and every successful reserve must settle as exactly one
+// commit or release. Run under -race this also exercises the lock-free
+// snapshot path.
+func TestConcurrentNoDoubleBooking(t *testing.T) {
+	const (
+		clients    = 10
+		reqPerC    = 8
+		tasksPerOp = 2
+	)
+	_, ts, inv := newTestServer(t, Options{MaxInflight: clients, QueueDepth: clients * reqPerC})
+
+	type committed struct {
+		id  string
+		win wireWindow
+	}
+	var (
+		mu       sync.Mutex
+		commits  []committed
+		reserves int
+		settles  int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < reqPerC; i++ {
+				code, out := postJSON(t, ts.URL+"/v1/reserve", map[string]any{
+					"request":     requestJSON(t, tasksPerOp, 30),
+					"ttl_seconds": 60,
+				})
+				if code == http.StatusNotFound || code == http.StatusConflict {
+					continue // pool drained or lost a race: both fine
+				}
+				if code != http.StatusOK {
+					t.Errorf("client %d: reserve status %d: %v", c, code, out)
+					return
+				}
+				mu.Lock()
+				reserves++
+				mu.Unlock()
+				id := fieldString(t, out, "id")
+				if (c+i)%4 == 3 { // every 4th settles by release
+					if code, _ := postJSON(t, ts.URL+"/v1/release", map[string]any{"id": id}); code == http.StatusOK {
+						mu.Lock()
+						settles++
+						mu.Unlock()
+					}
+					continue
+				}
+				code, out = postJSON(t, ts.URL+"/v1/commit", map[string]any{"id": id})
+				if code != http.StatusOK {
+					t.Errorf("client %d: commit %s status %d: %v", c, id, code, out)
+					return
+				}
+				var win wireWindow
+				if err := json.Unmarshal(out["window"], &win); err != nil {
+					t.Errorf("client %d: window: %v", c, err)
+					return
+				}
+				mu.Lock()
+				settles++
+				commits = append(commits, committed{id, win})
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if reserves == 0 {
+		t.Fatal("no reserve ever succeeded")
+	}
+	if settles != reserves {
+		t.Fatalf("%d reserves but %d settles — a hold leaked", reserves, settles)
+	}
+
+	// Pairwise disjointness of committed spans per node: [s1,e1) and
+	// [s2,e2) conflict iff s1 < e2 && s2 < e1. Touching is legal.
+	for i := 0; i < len(commits); i++ {
+		for j := i + 1; j < len(commits); j++ {
+			for _, p := range commits[i].win.Placements {
+				for _, q := range commits[j].win.Placements {
+					if p.Node == q.Node && p.Start < q.Start+q.Exec && q.Start < p.Start+p.Exec {
+						t.Fatalf("double booking on node %d: %s has [%g,%g), %s has [%g,%g)",
+							p.Node, commits[i].id, p.Start, p.Start+p.Exec,
+							commits[j].id, q.Start, q.Start+q.Exec)
+					}
+				}
+			}
+		}
+	}
+
+	// Lifecycle accounting must balance exactly.
+	ctr := inv.Status().Counters
+	if ctr.Reserves != ctr.Commits+ctr.Releases+ctr.Expiries+ctr.Cancelled {
+		t.Fatalf("unbalanced lifecycle counters: %+v", ctr)
+	}
+	if int(ctr.Commits) != len(commits) {
+		t.Fatalf("inventory reports %d commits, clients observed %d", ctr.Commits, len(commits))
+	}
+}
+
+// TestAdmissionControl floods a server whose handlers are pinned by
+// testHook: beyond MaxInflight + QueueDepth, requests must be shed
+// immediately with 429 + Retry-After, and the server's goroutine footprint
+// must stay bounded by the admission gate rather than growing with offered
+// load.
+func TestAdmissionControl(t *testing.T) {
+	const (
+		maxInflight = 2
+		queueDepth  = 2
+		flood       = 40
+	)
+	release := make(chan struct{})
+	var unpinOnce sync.Once
+	unpin := func() { unpinOnce.Do(func() { close(release) }) }
+	srv, ts, _ := newTestServer(t, Options{
+		MaxInflight:    maxInflight,
+		QueueDepth:     queueDepth,
+		RequestTimeout: 10 * time.Second,
+	})
+	// Unpin on any exit path, or ts.Close (registered above, runs after
+	// this — cleanups are LIFO) would hang on pinned handlers.
+	t.Cleanup(unpin)
+	srv.testHook = func() { <-release }
+
+	baseline := runtime.NumGoroutine()
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	codes := make(chan int, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(ts.URL + "/v1/statusz")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After header")
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+
+	// Wait until the gate is saturated and the shed responses have come
+	// back, then check the inflight handler count never exceeded the cap.
+	deadline := time.After(5 * time.Second)
+	shed, consumed := 0, 0
+	for shed < flood-maxInflight-queueDepth {
+		select {
+		case code := <-codes:
+			consumed++
+			if code == http.StatusTooManyRequests {
+				shed++
+			} else if code != -1 {
+				t.Fatalf("unexpected early status %d while gate is pinned", code)
+			}
+		case <-deadline:
+			t.Fatalf("only %d sheds after 5s, want %d", shed, flood-maxInflight-queueDepth)
+		}
+	}
+
+	// Handler goroutines are bounded by inflight+queued, not by flood size:
+	// once the 36 shed requests drain, only the 4 pinned connections (plus
+	// their net/http reader goroutines and waiting clients) remain. Without
+	// shedding, all 40 connections would be held (~3 goroutines each). The
+	// drain is asynchronous, so poll.
+	waitFor(t, func() bool {
+		return runtime.NumGoroutine() <= baseline+6*(maxInflight+queueDepth)
+	})
+
+	unpin()
+	wg.Wait()
+
+	ok := 0
+	for i := 0; i < flood-consumed; i++ {
+		if code := <-codes; code == http.StatusOK {
+			ok++
+		}
+	}
+	if want := maxInflight + queueDepth; ok != want {
+		t.Errorf("%d requests eventually succeeded, want %d (inflight+queue)", ok, want)
+	}
+	if got := srv.shed.Load(); int(got) != shed {
+		t.Errorf("server counted %d sheds, clients saw %d", got, shed)
+	}
+}
+
+// TestRequestSpans verifies the per-request observability spans.
+func TestRequestSpans(t *testing.T) {
+	trace := obs.NewTrace(64)
+	list := testkit.SlotList(testkit.Slot(testkit.Node(0, 5, 1), 0, 100))
+	inv, err := inventory.New(list, inventory.Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(inv, Options{Collector: trace}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	spans := trace.Spans()
+	found := false
+	for _, sp := range spans {
+		if sp.Cat == "http" && sp.Name == "http /v1/statusz" && sp.Arg == "200" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no http span for /v1/statusz in %d spans: %+v", len(spans), spans)
+	}
+}
+
+// TestQueueWaitTimesOut: a request stuck in the admission queue past the
+// request deadline is rejected, not executed.
+func TestQueueWaitTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	srv, ts, _ := newTestServer(t, Options{
+		MaxInflight:    1,
+		QueueDepth:     4,
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	srv.testHook = func() { <-release }
+	defer close(release)
+
+	// First request occupies the single inflight slot.
+	go http.Get(ts.URL + "/v1/statusz")
+	waitFor(t, func() bool { return len(srv.inflight) == 1 })
+
+	// Second request queues, then times out: handled as shed (429).
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(ts.URL + "/v1/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued-past-deadline request: status %d, want 429", resp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -121,6 +121,68 @@ func TestTimetableReserveAll(t *testing.T) {
 	}
 }
 
+func TestTimetableZeroLengthReservations(t *testing.T) {
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{10, 10}) // zero length: ignored
+	tt.Reserve(1, Interval{20, 15}) // negative length: ignored
+	tt.Reserve(1, Interval{30, 30}) // zero length again
+	if busy := tt.Busy(1); len(busy) != 0 {
+		t.Fatalf("degenerate reservations were recorded: %v", busy)
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A degenerate reservation between two real ones must not bridge them.
+	tt.Reserve(1, Interval{0, 10})
+	tt.Reserve(1, Interval{10, 10})
+	tt.Reserve(1, Interval{20, 30})
+	if busy := tt.Busy(1); len(busy) != 2 {
+		t.Fatalf("zero-length reservation changed the busy set: %v", busy)
+	}
+	// Zero-length queries: free at a boundary point (half-open — no time
+	// in common), conservatively busy strictly inside a busy span.
+	if !tt.IsFree(1, Interval{10, 10}) {
+		t.Error("zero-length interval at a busy-span boundary reported busy")
+	}
+	if tt.IsFree(1, Interval{5, 5}) {
+		t.Error("zero-length interval strictly inside a busy span reported free")
+	}
+}
+
+func TestTimetableAdjacentTouchingWindows(t *testing.T) {
+	// Half-open semantics: back-to-back reservations [0,10) [10,20) [20,30)
+	// are pairwise non-overlapping — the canonical "touching never
+	// conflicts" invariant the inventory relies on.
+	tt := NewTimetable()
+	tt.Reserve(1, Interval{0, 10})
+	tt.Reserve(2, Interval{0, 10})
+	if !tt.IsFree(1, Interval{10, 20}) {
+		t.Fatal("adjacent window [10,20) reported busy next to [0,10)")
+	}
+	tt.Reserve(1, Interval{10, 20})
+	tt.Reserve(1, Interval{20, 30})
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The three merge into one span: no gaps, no double counting.
+	if busy := tt.Busy(1); len(busy) != 1 || busy[0] != (Interval{0, 30}) {
+		t.Fatalf("touching reservations did not merge cleanly: %v", busy)
+	}
+	if got := tt.BusyWithin(1, 0, 30); got != 30 {
+		t.Fatalf("BusyWithin = %g, want 30 (no double counting at joints)", got)
+	}
+	// Node 2 is independent: only its own [0,10) is busy.
+	if !tt.IsFree(2, Interval{10, 30}) {
+		t.Fatal("node 2 affected by node 1 reservations")
+	}
+	// FreeSlots around a merged block has exact boundaries.
+	n := &nodes.Node{ID: 1, Perf: 4, Price: 1}
+	free := tt.FreeSlots([]*nodes.Node{n}, 0, 100, 0)
+	if len(free) != 1 || free[0].Interval != (Interval{30, 100}) {
+		t.Fatalf("free slots around touching block: %v", free)
+	}
+}
+
 func TestTimetableFreeComplementProperty(t *testing.T) {
 	// Free slots and busy intervals must tile the window exactly when no
 	// minimum length suppression applies.
