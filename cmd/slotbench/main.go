@@ -1,0 +1,26 @@
+// Command slotbench is the reproducible benchmark harness of the selection
+// kernels: it times the Find, CSA and batch-scheduling hot paths across
+// node-count and window-size grids — each Find grid point once with the
+// shipped incremental WindowIndex kernels and once with the retained
+// copy+sort oracle kernels — and writes machine-readable JSON
+// (BENCH_4.json) for the repo's bench trajectory.
+//
+// Usage:
+//
+//	slotbench [-seed N] [-iters K] [-nodes 16,32,64,128] [-tasks 2,5,10] [-o BENCH_4.json]
+//	slotbench -check        # kernel differential over the grid; non-zero exit on mismatch
+//
+// Same seed ⇒ same instances; timings are the minimum over -iters
+// repetitions. The CI bench-smoke job runs one iteration plus -check and
+// uploads the JSON as an artifact; see EXPERIMENTS.md for recorded numbers.
+package main
+
+import (
+	"os"
+
+	"slotsel/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Slotbench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -50,9 +50,9 @@ func ExampleScheduleBatch() {
 		}
 	}
 	// Output:
-	// scheduled 2/2 jobs, total cost 104
+	// scheduled 2/2 jobs, total cost 98
 	// high: start=0 finish=20 cost=54
-	// low: start=30 finish=50 cost=50
+	// low: start=40 finish=60 cost=44
 }
 
 func ExampleReplay() {

@@ -1,0 +1,276 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"slotsel/internal/batchsched"
+	"slotsel/internal/core"
+	"slotsel/internal/csa"
+	"slotsel/internal/env"
+	"slotsel/internal/job"
+	"slotsel/internal/randx"
+	"slotsel/internal/testkit"
+)
+
+// benchResult is one grid point of the harness, serialized into the
+// machine-readable BENCH_*.json trajectory files.
+type benchResult struct {
+	// Bench is the hot path measured: "find", "csa" or "batch".
+	Bench string `json:"bench"`
+
+	// Alg is the algorithm name for the find bench ("" otherwise).
+	Alg string `json:"alg,omitempty"`
+
+	// Kernel is "incremental" (the shipped WindowIndex kernels) or
+	// "oracle" (the retained per-visit copy+sort kernels) for the find
+	// bench; "" for paths without an oracle twin.
+	Kernel string `json:"kernel,omitempty"`
+
+	// Nodes and Slots describe the instance; Tasks is the requested window
+	// size n.
+	Nodes int `json:"nodes"`
+	Slots int `json:"slots"`
+	Tasks int `json:"tasks,omitempty"`
+
+	// Jobs is the batch size for the batch bench.
+	Jobs int `json:"jobs,omitempty"`
+
+	// NsPerOp is the minimum wall time of one operation over Iters timed
+	// repetitions.
+	NsPerOp int64 `json:"ns_per_op"`
+	Iters   int   `json:"iters"`
+}
+
+// benchFile is the overall BENCH_4.json shape.
+type benchFile struct {
+	Issue   int           `json:"issue"`
+	Seed    uint64        `json:"seed"`
+	Results []benchResult `json:"results"`
+}
+
+// Slotbench is the reproducible benchmark harness of the incremental
+// selection kernels (see cmd/slotbench): it times the Find, CSA and batch
+// hot paths across node-count and window-size grids, once per kernel where
+// an oracle twin exists, and emits machine-readable JSON. With -check it
+// instead runs the kernel differential across the same grid and fails on
+// any signature mismatch — the CI gate.
+func Slotbench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slotbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed      = fs.Uint64("seed", 1, "workload seed (same seed = same instances)")
+		iters     = fs.Int("iters", 5, "timed repetitions per grid point (the minimum is reported)")
+		nodesGrid = fs.String("nodes", "16,32,64,128", "comma-separated node-count grid")
+		tasksGrid = fs.String("tasks", "2,5,10", "comma-separated window-size (task count) grid")
+		outPath   = fs.String("o", "BENCH_4.json", "output JSON path (- = stdout)")
+		check     = fs.Bool("check", false, "run the incremental-vs-oracle differential over the grid instead of timing; non-zero exit on mismatch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	nodeCounts, err := parseIntGrid(*nodesGrid)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotbench: -nodes:", err)
+		return 2
+	}
+	taskCounts, err := parseIntGrid(*tasksGrid)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotbench: -tasks:", err)
+		return 2
+	}
+	if *iters < 1 {
+		fmt.Fprintln(stderr, "slotbench: -iters must be >= 1")
+		return 2
+	}
+
+	if *check {
+		return benchCheck(stdout, stderr, *seed, nodeCounts, taskCounts)
+	}
+
+	file := benchFile{Issue: 4, Seed: *seed}
+	for _, nc := range nodeCounts {
+		e := env.Generate(env.DefaultConfig().WithNodeCount(nc), randx.New(*seed))
+		list := e.Slots
+
+		for _, tasks := range taskCounts {
+			req := benchRequest(tasks)
+			for _, alg := range benchAlgorithms(*seed) {
+				oracle, ok := core.Oracle(alg)
+				if !ok {
+					fmt.Fprintf(stderr, "slotbench: no oracle twin for %s\n", alg.Name())
+					return 1
+				}
+				for _, run := range []struct {
+					kernel string
+					alg    core.Algorithm
+				}{
+					{"incremental", alg},
+					{"oracle", oracle},
+				} {
+					r := req
+					ns := benchTime(*iters, func() {
+						_, _ = run.alg.Find(list, &r)
+					})
+					file.Results = append(file.Results, benchResult{
+						Bench: "find", Alg: alg.Name(), Kernel: run.kernel,
+						Nodes: nc, Slots: len(list), Tasks: tasks,
+						NsPerOp: ns, Iters: *iters,
+					})
+				}
+			}
+
+			// CSA alternative search: repeated AMP over a carved working
+			// copy — the inventory/reserve hot path.
+			r := req
+			ns := benchTime(*iters, func() {
+				_, _ = csa.Search(list, &r, csa.Options{MaxAlternatives: 10, MinSlotLength: 10})
+			})
+			file.Results = append(file.Results, benchResult{
+				Bench: "csa", Nodes: nc, Slots: len(list), Tasks: tasks,
+				NsPerOp: ns, Iters: *iters,
+			})
+		}
+
+		// Two-stage batch scheduling over a random batch: stage-1 CSA per
+		// job plus the stage-2 selection DP.
+		const batchJobs = 8
+		ns := benchTime(*iters, func() {
+			batch := testkit.RandomBatch(randx.New(*seed), batchJobs)
+			_, _ = batchsched.Schedule(list, batch,
+				csa.Options{MaxAlternatives: 3, MinSlotLength: 10},
+				batchsched.SelectConfig{Budget: 4000, Criterion: csa.ByFinish})
+		})
+		file.Results = append(file.Results, benchResult{
+			Bench: "batch", Nodes: nc, Slots: len(list), Jobs: batchJobs,
+			NsPerOp: ns, Iters: *iters,
+		})
+	}
+
+	var w io.Writer = stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotbench:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		fmt.Fprintln(stderr, "slotbench:", err)
+		return 1
+	}
+	if *outPath != "-" {
+		fmt.Fprintf(stdout, "slotbench: wrote %d results to %s\n", len(file.Results), *outPath)
+	}
+	return 0
+}
+
+// benchCheck is the -check mode: the incremental kernels must match their
+// copy+sort oracles signature-for-signature on every grid instance.
+func benchCheck(stdout, stderr io.Writer, seed uint64, nodeCounts, taskCounts []int) int {
+	checked, bad := 0, 0
+	for _, nc := range nodeCounts {
+		e := env.Generate(env.DefaultConfig().WithNodeCount(nc), randx.New(seed))
+		for _, tasks := range taskCounts {
+			req := benchRequest(tasks)
+			for _, alg := range benchAlgorithms(seed) {
+				oracle, ok := core.Oracle(alg)
+				if !ok {
+					fmt.Fprintf(stderr, "slotbench: no oracle twin for %s\n", alg.Name())
+					return 1
+				}
+				r1, r2 := req, req
+				incW, incErr := alg.Find(e.Slots, &r1)
+				orcW, orcErr := oracle.Find(e.Slots, &r2)
+				checked++
+				if (incErr == nil) != (orcErr == nil) {
+					fmt.Fprintf(stderr, "slotbench: MISMATCH nodes=%d tasks=%d alg=%s: incremental err=%v, oracle err=%v\n",
+						nc, tasks, alg.Name(), incErr, orcErr)
+					bad++
+					continue
+				}
+				if incErr != nil {
+					continue
+				}
+				is, os := testkit.WindowSignature(incW), testkit.WindowSignature(orcW)
+				if is != os {
+					fmt.Fprintf(stderr, "slotbench: MISMATCH nodes=%d tasks=%d alg=%s:\n  incremental: %s\n  oracle:      %s\n",
+						nc, tasks, alg.Name(), is, os)
+					bad++
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "slotbench: %d/%d kernel differentials FAILED\n", bad, checked)
+		return 1
+	}
+	fmt.Fprintf(stdout, "slotbench: %d kernel differentials ok\n", checked)
+	return 0
+}
+
+// benchAlgorithms is the measured catalogue: every shipped algorithm
+// family, matching the differential test suite's coverage.
+func benchAlgorithms(seed uint64) []core.Algorithm {
+	return []core.Algorithm{
+		core.AMP{},
+		core.MinCost{},
+		core.MinRunTime{},
+		core.MinRunTime{Exact: true},
+		core.MinFinish{},
+		core.MinFinish{Exact: true},
+		core.MinProcTime{Seed: seed},
+		core.MinProcTimeGreedy{},
+		core.MinEnergy{},
+	}
+}
+
+// benchRequest scales the §3.1 reference request (5 slots x volume 150
+// under budget 1500) to the given window size.
+func benchRequest(tasks int) job.Request {
+	return job.Request{TaskCount: tasks, Volume: 150, MaxCost: 300 * float64(tasks)}
+}
+
+// benchTime runs op iters times and returns the minimum wall time of one
+// run — the standard least-noise estimator for deterministic workloads.
+func benchTime(iters int, op func()) int64 {
+	op() // warm-up: page in the list, size the allocator
+	best := int64(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		op()
+		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func parseIntGrid(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad grid entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty grid")
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package core_test
+
+import (
+	"testing"
+
+	"slotsel/internal/core"
+	"slotsel/internal/job"
+	"slotsel/internal/randx"
+	"slotsel/internal/testkit"
+)
+
+// diffSeeds is the seed count of the differential suite; the acceptance
+// criterion demands signature-equal windows for all shipped algorithms
+// across at least 60 seeds.
+const diffSeeds = 64
+
+// TestDifferentialIncrementalVsOracle is the tentpole's correctness proof:
+// every shipped algorithm (running on the incremental WindowIndex kernels)
+// must return a window with exactly the signature of its copy+sort oracle
+// twin, across diffSeeds random heterogeneous instances — both on clean
+// runs and with the aliasing poisoners interposed on both scan paths.
+func TestDifferentialIncrementalVsOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		poison bool
+	}{
+		{"clean", false},
+		{"poisoned", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer core.SetVisitWrapForTest(nil)
+			defer core.SetIndexedVisitWrapForTest(nil)
+			if tc.poison {
+				core.SetVisitWrapForTest(testkit.PoisonVisit)
+				core.SetIndexedVisitWrapForTest(testkit.PoisonIndexedVisit)
+			}
+			for seed := uint64(1); seed <= diffSeeds; seed++ {
+				rng := randx.New(seed)
+				list := testkit.HeteroList(rng, 8, 4, 300)
+				req := job.Request{
+					TaskCount: rng.IntRange(1, 4),
+					Volume:    float64(rng.IntRange(40, 150)),
+					MaxCost:   float64(rng.IntRange(100, 1200)),
+				}
+				if rng.Intn(3) == 0 {
+					req.Deadline = float64(rng.IntRange(100, 300))
+				}
+				for _, alg := range catalogue(seed) {
+					oracle, ok := core.Oracle(alg)
+					if !ok {
+						t.Fatalf("no oracle twin for %s", alg.Name())
+					}
+					r1, r2 := req, req
+					incW, incErr := alg.Find(list, &r1)
+					orcW, orcErr := oracle.Find(list, &r2)
+					if (incErr == nil) != (orcErr == nil) {
+						t.Fatalf("seed=%d alg=%s: feasibility diverged: incremental err=%v, oracle err=%v",
+							seed, alg.Name(), incErr, orcErr)
+					}
+					if incErr != nil {
+						continue
+					}
+					is, os := testkit.WindowSignature(incW), testkit.WindowSignature(orcW)
+					if is != os {
+						t.Errorf("seed=%d alg=%s: incremental and oracle windows diverged\nincremental: %s\noracle:      %s",
+							seed, alg.Name(), is, os)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAMPTiedStartCoalescing is the regression test of the equal-start scan
+// bugfix: two nodes publish slots starting at the same instant, ordered so
+// the costlier node's slot precedes the cheaper one in the sorted list
+// (SortByStart breaks start ties by node ID). Before the fix the scan
+// visited after admitting only the first slot, so AMP — which commits to
+// the first feasible window — locked in the costlier node; with equal-start
+// slots coalesced into one visit, AMP sees the full candidate set and picks
+// the true cheapest sub-window at the earliest feasible start.
+func TestAMPTiedStartCoalescing(t *testing.T) {
+	costly := testkit.Node(1, 5, 4) // exec = 60/5 = 12, cost = 12*4 = 48
+	cheap := testkit.Node(2, 5, 1)  // exec = 12, cost = 12*1 = 12
+	list := testkit.SlotList(
+		testkit.Slot(costly, 0, 100),
+		testkit.Slot(cheap, 0, 100),
+	)
+	req := job.Request{TaskCount: 1, Volume: 60}
+
+	// Pin the scenario's premise: the slot the scan admits first (node ID
+	// tie-break) really is the strictly costlier candidate — the pre-fix
+	// AMP window.
+	preFixCost := req.ExecTime(costly) * costly.Price
+	fixedCost := req.ExecTime(cheap) * cheap.Price
+	if preFixCost <= fixedCost {
+		t.Fatalf("bad fixture: pre-fix cost %v not strictly above post-fix cost %v", preFixCost, fixedCost)
+	}
+
+	w, err := core.AMP{}.Find(list, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Start != 0 {
+		t.Fatalf("AMP start = %v, want 0 (coalescing must not delay the first visit)", w.Start)
+	}
+	if got := w.Placements[0].Node().ID; got != cheap.ID {
+		t.Fatalf("AMP picked node %d (cost %v) at the tied start, want node %d (cost %v)",
+			got, w.Cost, cheap.ID, fixedCost)
+	}
+	if w.Cost != fixedCost {
+		t.Fatalf("AMP window cost = %v, want %v", w.Cost, fixedCost)
+	}
+
+	// The oracle twin runs the same coalescing scan; both paths must agree.
+	oracle, _ := core.Oracle(core.AMP{})
+	ow, err := oracle.Find(list, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testkit.WindowSignature(ow) != testkit.WindowSignature(w) {
+		t.Fatalf("oracle twin diverged at tied start:\nincremental: %s\noracle:      %s",
+			testkit.WindowSignature(w), testkit.WindowSignature(ow))
+	}
+}
+
+// TestWindowIndexTiedCostDeterminism pins the index's documented tie-break:
+// candidates with equal cost order by execution time, and candidates with
+// equal cost and execution time order by node ID — regardless of insertion
+// order.
+func TestWindowIndexTiedCostDeterminism(t *testing.T) {
+	// Six candidates, all cost 24: two exec classes, three nodes each.
+	// Perf picked so exec differs (60/5=12 vs 60/10=6) while price keeps
+	// cost tied (12*2 = 6*4 = 24).
+	mk := func(id int, perf, price float64) core.Candidate {
+		n := testkit.Node(id, perf, price)
+		exec := 60 / perf
+		return core.Candidate{Slot: testkit.Slot(n, 0, 100), Exec: exec, Cost: exec * price}
+	}
+	cands := []core.Candidate{
+		mk(11, 10, 4), mk(12, 10, 4), mk(13, 10, 4), // exec 6
+		mk(21, 5, 2), mk(22, 5, 2), mk(23, 5, 2), // exec 12
+	}
+	wantOrder := []int{11, 12, 13, 21, 22, 23} // exec asc, then node ID
+
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := randx.New(seed)
+		shuffled := append([]core.Candidate(nil), cands...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		ix := core.NewWindowIndex(shuffled)
+		got := ix.ByCost()
+		if len(got) != len(wantOrder) {
+			t.Fatalf("seed=%d: index holds %d candidates, want %d", seed, len(got), len(wantOrder))
+		}
+		for i, want := range wantOrder {
+			if got[i].Slot.Node.ID != want {
+				t.Fatalf("seed=%d: ByCost[%d] = node %d, want node %d (cost→exec→node-ID tie-break)",
+					seed, i, got[i].Slot.Node.ID, want)
+			}
+		}
+	}
+}
+
+// TestIndexedAlgorithmsCopyWhatTheyKeep is the aliasing regression for the
+// indexed scan path: the shipped algorithms now receive the scan's live
+// WindowIndex, so the detector rebuilds a private index per visit and
+// poisons its views after the inner visit returns. A kernel that retains a
+// live view diverges from the clean run.
+func TestIndexedAlgorithmsCopyWhatTheyKeep(t *testing.T) {
+	defer core.SetIndexedVisitWrapForTest(nil)
+	for seed := uint64(1); seed <= 30; seed++ {
+		rng := randx.New(seed)
+		list := testkit.RandomList(rng, 6, 4, 200)
+		req := job.Request{
+			TaskCount: rng.IntRange(1, 4),
+			Volume:    float64(rng.IntRange(40, 120)),
+			MaxCost:   float64(rng.IntRange(100, 900)),
+		}
+		for _, alg := range catalogue(seed) {
+			core.SetIndexedVisitWrapForTest(nil)
+			r1 := req
+			cleanW, cleanErr := alg.Find(list, &r1)
+
+			core.SetIndexedVisitWrapForTest(testkit.PoisonIndexedVisit)
+			r2 := req
+			poisonW, poisonErr := alg.Find(list, &r2)
+			core.SetIndexedVisitWrapForTest(nil)
+
+			if (cleanErr == nil) != (poisonErr == nil) {
+				t.Fatalf("seed=%d alg=%s: errors diverged under poisoning: %v vs %v",
+					seed, alg.Name(), cleanErr, poisonErr)
+			}
+			cs, ps := testkit.WindowSignature(cleanW), testkit.WindowSignature(poisonW)
+			if cs != ps {
+				t.Errorf("seed=%d alg=%s: window built from retained index views\nclean:    %s\npoisoned: %s",
+					seed, alg.Name(), cs, ps)
+			}
+		}
+	}
+}

@@ -57,5 +57,31 @@ func FuzzScanWindow(f *testing.F) {
 			t.Fatalf("seed=%d req=%+v: AMP window invalid: %v\n%s",
 				seed, req, err, testkit.WindowSignature(ampW))
 		}
+
+		// Cross-check the incremental WindowIndex kernels against the
+		// retained copy+sort oracle kernels on the same fuzzed instance:
+		// every shipped algorithm must match its oracle twin signature-
+		// for-signature (or agree the instance is infeasible).
+		for _, alg := range catalogue(seed) {
+			oracle, ok := core.Oracle(alg)
+			if !ok {
+				t.Fatalf("no oracle twin for %s", alg.Name())
+			}
+			r1, r2 := req, req
+			incW, incErr := alg.Find(list, &r1)
+			orcW, orcErr := oracle.Find(list, &r2)
+			if (incErr == nil) != (orcErr == nil) {
+				t.Fatalf("seed=%d req=%+v alg=%s: feasibility diverged: incremental err=%v, oracle err=%v",
+					seed, req, alg.Name(), incErr, orcErr)
+			}
+			if incErr != nil {
+				continue
+			}
+			is, os := testkit.WindowSignature(incW), testkit.WindowSignature(orcW)
+			if is != os {
+				t.Fatalf("seed=%d req=%+v alg=%s: incremental and oracle kernels diverged\nincremental: %s\noracle:      %s",
+					seed, req, alg.Name(), is, os)
+			}
+		}
 	})
 }

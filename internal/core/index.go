@@ -1,0 +1,340 @@
+package core
+
+import (
+	"sort"
+
+	"slotsel/internal/randx"
+)
+
+// WindowIndex is the incrementally maintained candidate index of one AEP
+// scan: alongside the append-order window it keeps a cost-ordered mirror
+// (the (Cost, Exec, NodeID) total order of cheapestN) with running
+// prefix-cost sums, so the per-visit selection procedures read sorted
+// candidates instead of copying and re-sorting the window at every scan
+// position. The window changes by a handful of insertions and expiries per
+// step, so maintenance is amortized O(w) per step (one binary search plus
+// one memmove per insertion, one in-place compaction per expiry round)
+// where the oracle kernels pay O(w log w) per visit.
+//
+// A second, execution-time-ordered mirror backs the exact runtime kernel;
+// it is activated lazily on the first SelectMinRuntimeExact call of a scan
+// so algorithms that never ask for it pay nothing.
+//
+// Lifetime: a WindowIndex handed to an IndexedVisitFunc is owned by the
+// scan and reused between visits; the slices returned by Cands, ByCost and
+// ByExec are live views under the same copy-what-you-keep contract as the
+// plain VisitFunc candidate slice. Every Select* method returns a freshly
+// allocated chosen slice.
+type WindowIndex struct {
+	// cands is the window in scan append order (non-decreasing slot start).
+	cands []Candidate
+
+	// byCost mirrors cands in the (Cost, Exec, NodeID) order.
+	byCost []Candidate
+
+	// prefix holds running cost sums over byCost: prefix[i] is the total
+	// cost of the i cheapest candidates (prefix[0] = 0), always accumulated
+	// left to right so it is bit-identical to summing byCost[:i] directly.
+	prefix []float64
+
+	// byExec mirrors cands in the (Exec, Cost, NodeID) order; empty until
+	// the exact runtime kernel activates tracking.
+	byExec    []Candidate
+	trackExec bool
+
+	// mirror enables cost-mirror and prefix-sum maintenance. The indexed
+	// scan path sets it; the plain VisitFunc path leaves it off so callers
+	// that only ever see the raw candidate slice do not pay for an index
+	// they cannot reach.
+	mirror bool
+}
+
+// NewWindowIndex builds an index over a snapshot of the given candidates
+// (the slice is copied). It is the entry point for tests and tools that
+// want the incremental kernels outside a scan; inside a scan the index is
+// maintained incrementally and this constructor is never on the hot path.
+func NewWindowIndex(cands []Candidate) *WindowIndex {
+	ix := &WindowIndex{mirror: true}
+	for _, c := range cands {
+		ix.add(c)
+	}
+	return ix
+}
+
+// costLess is the cheapestN total order: cost, then execution time, then
+// node ID. Node IDs are unique within a scan window (per node, free slots
+// are disjoint and every retained slot contains the current start), so the
+// order is total and the mirror is deterministic.
+func costLess(a, b Candidate) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	if a.Exec != b.Exec {
+		return a.Exec < b.Exec
+	}
+	return a.Slot.Node.ID < b.Slot.Node.ID
+}
+
+// execLess is the exact runtime kernel's total order: execution time, then
+// cost, then node ID.
+func execLess(a, b Candidate) bool {
+	if a.Exec != b.Exec {
+		return a.Exec < b.Exec
+	}
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	return a.Slot.Node.ID < b.Slot.Node.ID
+}
+
+// Len returns the current window size.
+func (ix *WindowIndex) Len() int { return len(ix.cands) }
+
+// Cands returns the window in scan append order. The slice is live scan
+// state: copy what you keep.
+func (ix *WindowIndex) Cands() []Candidate { return ix.cands }
+
+// ByCost returns the cost-ordered mirror. The slice is live scan state:
+// copy what you keep.
+func (ix *WindowIndex) ByCost() []Candidate { return ix.byCost }
+
+// ByExec returns the execution-time-ordered mirror; it is empty unless the
+// exact runtime kernel has run on this index. The slice is live scan
+// state: copy what you keep.
+func (ix *WindowIndex) ByExec() []Candidate { return ix.byExec }
+
+// PrefixCost returns the total cost of the n cheapest candidates, an O(1)
+// read of the running prefix sums. n must be within [0, Len()].
+func (ix *WindowIndex) PrefixCost(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return ix.prefix[n]
+}
+
+// add inserts a candidate: append-order window, binary-search insertion
+// into the cost mirror (and the exec mirror when tracked), prefix sums
+// recomputed from the insertion point.
+func (ix *WindowIndex) add(c Candidate) {
+	ix.cands = append(ix.cands, c)
+	if !ix.mirror {
+		return
+	}
+
+	pos := sort.Search(len(ix.byCost), func(i int) bool { return costLess(c, ix.byCost[i]) })
+	ix.byCost = append(ix.byCost, Candidate{})
+	copy(ix.byCost[pos+1:], ix.byCost[pos:])
+	ix.byCost[pos] = c
+
+	if len(ix.prefix) == 0 {
+		ix.prefix = append(ix.prefix, 0)
+	}
+	ix.prefix = append(ix.prefix, 0)
+	for i := pos; i < len(ix.byCost); i++ {
+		ix.prefix[i+1] = ix.prefix[i] + ix.byCost[i].Cost
+	}
+
+	if ix.trackExec {
+		pos := sort.Search(len(ix.byExec), func(i int) bool { return execLess(c, ix.byExec[i]) })
+		ix.byExec = append(ix.byExec, Candidate{})
+		copy(ix.byExec[pos+1:], ix.byExec[pos:])
+		ix.byExec[pos] = c
+	}
+}
+
+// expire drops every candidate for which keep is false, compacting all
+// mirrors in place (order preserved) and recomputing prefix sums from the
+// first removal.
+func (ix *WindowIndex) expire(keep func(Candidate) bool) {
+	kept := ix.cands[:0]
+	for _, c := range ix.cands {
+		if keep(c) {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == len(ix.cands) {
+		return // nothing expired; mirrors are untouched
+	}
+	ix.cands = kept
+	if !ix.mirror {
+		return
+	}
+
+	out := ix.byCost[:0]
+	first := -1
+	for i, c := range ix.byCost {
+		if keep(c) {
+			out = append(out, c)
+		} else if first < 0 {
+			first = i
+		}
+	}
+	ix.byCost = out
+	ix.prefix = ix.prefix[:len(out)+1]
+	for i := first; i < len(out); i++ {
+		ix.prefix[i+1] = ix.prefix[i] + out[i].Cost
+	}
+
+	if ix.trackExec {
+		outE := ix.byExec[:0]
+		for _, c := range ix.byExec {
+			if keep(c) {
+				outE = append(outE, c)
+			}
+		}
+		ix.byExec = outE
+	}
+}
+
+// reset empties the index, retaining capacity, for reuse across scans.
+func (ix *WindowIndex) reset() {
+	ix.cands = ix.cands[:0]
+	ix.byCost = ix.byCost[:0]
+	ix.prefix = ix.prefix[:0]
+	ix.byExec = ix.byExec[:0]
+	ix.trackExec = false
+}
+
+// activateExec lazily builds the exec-ordered mirror; from then on add and
+// expire maintain it incrementally.
+func (ix *WindowIndex) activateExec() {
+	if ix.trackExec {
+		return
+	}
+	ix.trackExec = true
+	ix.byExec = append(ix.byExec[:0], ix.cands...)
+	sort.Slice(ix.byExec, func(i, j int) bool { return execLess(ix.byExec[i], ix.byExec[j]) })
+}
+
+// CheapestN returns a fresh copy of the n cheapest candidates, in the
+// cheapestN oracle order.
+func (ix *WindowIndex) CheapestN(n int) []Candidate {
+	return append([]Candidate(nil), ix.byCost[:n]...)
+}
+
+// SelectMinCost is the incremental twin of the selectMinCost oracle: the n
+// cheapest candidates are a prefix of the cost mirror and their total is a
+// prefix-sum read, so the per-visit work is O(n) (the copy) instead of
+// O(w log w).
+func (ix *WindowIndex) SelectMinCost(n int, budget float64) (chosen []Candidate, cost float64, ok bool) {
+	if len(ix.byCost) < n {
+		return nil, 0, false
+	}
+	cost = ix.PrefixCost(n)
+	if budget > 0 && cost > budget {
+		return nil, 0, false
+	}
+	return ix.CheapestN(n), cost, true
+}
+
+// SelectMinRuntimeGreedy is the incremental twin of selectMinRuntimeGreedy:
+// the initial window is the cost mirror's prefix (its cost a prefix-sum
+// read) and the extend slots are the mirror's tail, already in
+// non-decreasing cost order — no per-visit sort. The substitution loop is
+// unchanged, so the output is candidate-for-candidate identical to the
+// oracle's.
+func (ix *WindowIndex) SelectMinRuntimeGreedy(n int, budget float64, literalBudget bool) (chosen []Candidate, runtime float64, ok bool) {
+	if len(ix.byCost) < n {
+		return nil, 0, false
+	}
+	cost := ix.PrefixCost(n)
+	if budget > 0 && cost > budget {
+		return nil, 0, false
+	}
+	result := append([]Candidate(nil), ix.byCost[:n]...)
+	for _, short := range ix.byCost[n:] {
+		longIdx := maxExecIndex(result)
+		long := result[longIdx]
+		if short.Exec >= long.Exec {
+			continue
+		}
+		feasible := true
+		if budget > 0 {
+			if literalBudget {
+				feasible = cost+short.Cost <= budget
+			} else {
+				feasible = cost-long.Cost+short.Cost <= budget
+			}
+		}
+		if feasible {
+			cost += short.Cost - long.Cost
+			result[longIdx] = short
+		}
+	}
+	return result, maxExec(result), true
+}
+
+// SelectMinAdditiveGreedy is the incremental twin of
+// selectMinAdditiveGreedy for an arbitrary additive per-slot weight.
+func (ix *WindowIndex) SelectMinAdditiveGreedy(n int, budget float64, weight func(Candidate) float64) (chosen []Candidate, total float64, ok bool) {
+	if len(ix.byCost) < n {
+		return nil, 0, false
+	}
+	cost := ix.PrefixCost(n)
+	if budget > 0 && cost > budget {
+		return nil, 0, false
+	}
+	result := append([]Candidate(nil), ix.byCost[:n]...)
+	for _, short := range ix.byCost[n:] {
+		heavyIdx := 0
+		for i := range result {
+			if weight(result[i]) > weight(result[heavyIdx]) {
+				heavyIdx = i
+			}
+		}
+		heavy := result[heavyIdx]
+		if weight(short) >= weight(heavy) {
+			continue
+		}
+		if budget > 0 && cost-heavy.Cost+short.Cost > budget {
+			continue
+		}
+		cost += short.Cost - heavy.Cost
+		result[heavyIdx] = short
+	}
+	total = 0
+	for _, c := range result {
+		total += weight(c)
+	}
+	return result, total, true
+}
+
+// SelectMinRuntimeExact is the incremental entry path of the exact
+// minimum-runtime oracle: the exec-ordered prefix walk and cost heap are
+// unchanged, but the exec ordering comes from the incrementally maintained
+// mirror instead of a per-visit sort. The first call of a scan sorts the
+// current window once to activate the mirror; later visits reuse it.
+func (ix *WindowIndex) SelectMinRuntimeExact(n int, budget float64) (chosen []Candidate, runtime float64, ok bool) {
+	if len(ix.cands) < n {
+		return nil, 0, false
+	}
+	ix.activateExec()
+	heap := make([]Candidate, 0, n)
+	sum := 0.0
+	for i, c := range ix.byExec {
+		if len(heap) < n {
+			heapPush(&heap, c)
+			sum += c.Cost
+		} else if c.Cost < heap[0].Cost {
+			sum += c.Cost - heap[0].Cost
+			heapReplace(heap, c)
+		}
+		if len(heap) == n {
+			if i+1 < len(ix.byExec) && ix.byExec[i+1].Exec == ix.byExec[i].Exec {
+				continue
+			}
+			if budget <= 0 || sum <= budget {
+				return append([]Candidate(nil), heap...), ix.byExec[i].Exec, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// SelectRandom is the index entry of the paper's simplified MinProcTime
+// step: a uniformly random n-subset of the append-order window, rejected
+// when over budget. It draws from Cands so the stream of samples is
+// identical to the oracle's.
+func (ix *WindowIndex) SelectRandom(n int, budget float64, rng *randx.Rand) (chosen []Candidate, ok bool) {
+	return selectRandom(ix.cands, n, budget, rng)
+}

@@ -66,9 +66,11 @@ func TestScanObservedEarlyStop(t *testing.T) {
 	if snap.Scan.Visits != 1 {
 		t.Errorf("Visits = %d, want 1", snap.Scan.Visits)
 	}
-	// The scan stopped at the first slot; later slots were never examined.
-	if snap.Scan.Slots != 1 {
-		t.Errorf("Slots = %d, want 1 (stopped after the first)", snap.Scan.Slots)
+	// The scan stopped at the first visit. Both slots share start 0 and are
+	// coalesced into that visit, so both were examined; the two slots at
+	// start 150 were not.
+	if snap.Scan.Slots != 2 {
+		t.Errorf("Slots = %d, want 2 (stopped after the first coalesced visit)", snap.Scan.Slots)
 	}
 }
 

@@ -25,9 +25,11 @@ type Candidate struct {
 
 // VisitFunc is invoked by Scan at every scan position where at least
 // req.TaskCount suitable slots are available. start is the current window
-// start time (the start of the most recently added slot); cands holds the
+// start time (the start of the most recently added slots); cands holds the
 // suitable candidates — every candidate can host a task over
 // [start, start+Exec] within its slot (and within the request deadline).
+// Slots sharing a start time are coalesced into one visit: the window
+// already contains every suitable slot starting at start.
 //
 // The cands slice is reused between calls: implementations must copy
 // whatever they keep. Returning true stops the scan early.
@@ -39,12 +41,25 @@ type Candidate struct {
 // testkit.PoisonVisit detector exists to catch.
 type VisitFunc func(start float64, cands []Candidate) (stop bool)
 
-// visitWrap, when non-nil, wraps every visit function before Scan uses it.
-// It is a test-only seam (set via SetVisitWrapForTest) that lets the
-// aliasing regression tests interpose testkit.PoisonVisit between Scan and
-// the per-algorithm selection procedures; production builds pay one nil
-// check per Scan call.
+// IndexedVisitFunc is the selection-kernel variant of VisitFunc: instead of
+// the raw candidate slice the visit receives the scan's incrementally
+// maintained WindowIndex, whose Select* methods run the per-criterion
+// selection procedures without re-sorting the window. The index (and every
+// slice it exposes) is reused between calls under the same
+// copy-what-you-keep contract; testkit.PoisonIndexedVisit is the matching
+// aliasing detector.
+type IndexedVisitFunc func(start float64, win *WindowIndex) (stop bool)
+
+// visitWrap, when non-nil, wraps every plain visit function before Scan
+// uses it. It is a test-only seam (set via SetVisitWrapForTest) that lets
+// the aliasing regression tests interpose testkit.PoisonVisit between Scan
+// and the per-algorithm selection procedures; production builds pay one
+// nil check per Scan call.
 var visitWrap func(VisitFunc) VisitFunc
+
+// indexWrap is visitWrap's twin for the indexed scan path (set via
+// SetIndexedVisitWrapForTest, interposing testkit.PoisonIndexedVisit).
+var indexWrap func(IndexedVisitFunc) IndexedVisitFunc
 
 // Scan is the AEP general scheme: a single pass over the slot list in order
 // of non-decreasing start time, maintaining the set of slots that remain
@@ -57,7 +72,7 @@ var visitWrap func(VisitFunc) VisitFunc
 //
 // Concurrency (audited for the parallel engine): Scan only READS the list,
 // its slots and their nodes — it never writes through a *slots.Slot — and
-// all of its mutable state (the window slice, the Candidate values) is
+// all of its mutable state (the window index, the Candidate values) is
 // local to the call. Any number of Scans may therefore run concurrently
 // over one shared list, provided callers uphold the slots.List contract of
 // not mutating a published list during searches. The cands slice handed to
@@ -75,14 +90,39 @@ func Scan(list slots.List, req *job.Request, visit VisitFunc) error {
 // increments, benchmark-verified (BenchmarkScanObservedOverhead) to stay
 // within the ≤2% hot-path budget.
 func ScanObserved(list slots.List, req *job.Request, visit VisitFunc, col obs.Collector) error {
+	if visitWrap != nil {
+		visit = visitWrap(visit)
+	}
+	return scanLoop(list, req, col, false, func(start float64, ix *WindowIndex) bool {
+		return visit(start, ix.cands)
+	})
+}
+
+// ScanIndexed is the scan entry of the incremental selection kernels: the
+// same pass as Scan, but the visit receives the maintained WindowIndex —
+// cost-ordered mirror, prefix-cost sums, lazily activated exec mirror —
+// instead of the raw candidate slice. All shipped algorithms run on this
+// path; ScanObserved remains for third-party VisitFunc implementations and
+// for the copy+sort oracle kernels the differential tests compare against.
+func ScanIndexed(list slots.List, req *job.Request, visit IndexedVisitFunc, col obs.Collector) error {
+	if indexWrap != nil {
+		visit = indexWrap(visit)
+	}
+	return scanLoop(list, req, col, true, visit)
+}
+
+// scanLoop is the single shared scan implementation. Slots sharing a start
+// time are coalesced into one visit: every suitable slot at the current
+// start joins the window before the selection runs, so a first-feasible
+// algorithm (AMP) sees the complete candidate set at a tied start instead
+// of a partially built window, and the other algorithms pay one selection
+// call per distinct start rather than one per tied slot.
+func scanLoop(list slots.List, req *job.Request, col obs.Collector, indexed bool, visit IndexedVisitFunc) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
 	if !list.IsSortedByStart() {
 		return fmt.Errorf("core: slot list is not ordered by start time")
-	}
-	if visitWrap != nil {
-		visit = visitWrap(visit)
 	}
 	var begin time.Duration
 	if col != nil {
@@ -90,52 +130,59 @@ func ScanObserved(list slots.List, req *job.Request, visit VisitFunc, col obs.Co
 	}
 	var st obs.ScanStats
 
-	// window is the current extended window: slots that still can host a
-	// task for a window starting at the current position. Its size is
-	// bounded by the node count (per node, free slots are disjoint, and
-	// every retained slot contains the current start), which is what makes
-	// the per-step filtering cost O(nodes) and the whole scan O(m x nodes).
-	var window []Candidate
+	// win is the current extended window: slots that still can host a task
+	// for a window starting at the current position, plus its cost-ordered
+	// mirror and prefix sums. Its size is bounded by the node count (per
+	// node, free slots are disjoint, and every retained slot contains the
+	// current start), which is what makes the per-step maintenance cost
+	// O(nodes) and the whole scan O(m x nodes).
+	win := WindowIndex{mirror: indexed}
 
-	for _, s := range list {
-		st.Slots++
-		if !req.Matches(s.Node) {
-			continue // the slot does not meet the requirements
-		}
-		st.Matched++
-		exec := req.ExecTime(s.Node)
-		start := s.Start
-		if effEnd(s, req) < start+exec {
-			// The slot can never host the task, not even starting at its
-			// own beginning; skip it entirely.
-			continue
-		}
-		if req.Deadline > 0 && start+exec > req.Deadline {
-			// Windows only start later from here on; with the fastest
-			// possible start already past the deadline for this node, the
-			// slot is useless — but faster nodes may still fit, so only
-			// skip this slot, not the scan.
-			continue
-		}
-		st.Candidates++
-		window = append(window, Candidate{Slot: s, Exec: exec, Cost: exec * s.Node.Price})
-
-		// Advance the window start to the newest slot's start and drop
-		// every slot that no longer provides its minimum required length.
-		kept := window[:0]
-		for _, c := range window {
-			if effEnd(c.Slot, req)-start >= c.Exec {
-				kept = append(kept, c)
+	for i := 0; i < len(list); {
+		start := list[i].Start
+		added := false
+		// Coalesce: admit every suitable slot sharing this start time
+		// before filtering and visiting once.
+		for ; i < len(list) && list[i].Start == start; i++ {
+			s := list[i]
+			st.Slots++
+			if !req.Matches(s.Node) {
+				continue // the slot does not meet the requirements
 			}
+			st.Matched++
+			exec := req.ExecTime(s.Node)
+			if effEnd(s, req) < start+exec {
+				// The slot can never host the task, not even starting at its
+				// own beginning; skip it entirely.
+				continue
+			}
+			if req.Deadline > 0 && start+exec > req.Deadline {
+				// Windows only start later from here on; with the fastest
+				// possible start already past the deadline for this node, the
+				// slot is useless — but faster nodes may still fit, so only
+				// skip this slot, not the scan.
+				continue
+			}
+			st.Candidates++
+			win.add(Candidate{Slot: s, Exec: exec, Cost: exec * s.Node.Price})
+			added = true
 		}
-		window = kept
-		if len(window) > st.PeakWindow {
-			st.PeakWindow = len(window)
+		if !added {
+			continue
 		}
 
-		if len(window) >= req.TaskCount {
+		// Advance the window start to the newest slots' start and drop
+		// every slot that no longer provides its minimum required length.
+		win.expire(func(c Candidate) bool {
+			return effEnd(c.Slot, req)-start >= c.Exec
+		})
+		if win.Len() > st.PeakWindow {
+			st.PeakWindow = win.Len()
+		}
+
+		if win.Len() >= req.TaskCount {
 			st.Visits++
-			if visit(start, window) {
+			if visit(start, &win) {
 				st.EarlyStop = true
 				break
 			}

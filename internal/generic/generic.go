@@ -89,14 +89,17 @@ func (e Extreme) FindObserved(list slots.List, req *job.Request, col obs.Collect
 	}
 	var best *core.Window
 	bestWeight := math.Inf(1)
-	err := core.ScanObserved(list, req, func(start float64, cands []core.Candidate) bool {
+	err := core.ScanIndexed(list, req, func(start float64, win *core.WindowIndex) bool {
 		var chosen []core.Candidate
 		var total float64
 		var ok bool
-		if e.Exact && len(cands) <= capExact {
-			chosen, total, ok = baseline.MinWeightSubset(cands, req.TaskCount, req.MaxCost, e.Weight)
+		if e.Exact && win.Len() <= capExact {
+			// The exact solver explores subsets of the raw window; it gains
+			// nothing from the cost ordering, so it reads the append-order
+			// view directly.
+			chosen, total, ok = baseline.MinWeightSubset(win.Cands(), req.TaskCount, req.MaxCost, e.Weight)
 		} else {
-			chosen, total, ok = core.SelectAdditiveGreedy(cands, req.TaskCount, req.MaxCost, e.Weight)
+			chosen, total, ok = win.SelectMinAdditiveGreedy(req.TaskCount, req.MaxCost, e.Weight)
 		}
 		if !ok {
 			return false

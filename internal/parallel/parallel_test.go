@@ -239,3 +239,43 @@ func TestAlternativesEmptyAndSingle(t *testing.T) {
 		t.Fatalf("empty list: got %v, want one nil alternative set", got)
 	}
 }
+
+// TestFindAllIncrementalMatchesOracle runs the kernel differential under
+// the parallel engine: FindAll over the shipped (incremental WindowIndex)
+// algorithms must be value-identical to FindAll over their copy+sort oracle
+// twins, for every seed and worker count. Concurrent scans share the slot
+// list but each owns its index, so worker count must never leak into the
+// selected windows.
+func TestFindAllIncrementalMatchesOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		rng := randx.New(seed)
+		list := testkit.HeteroList(rng, rng.IntRange(3, 10), 4, 200)
+		req := randomRequest(rng)
+		algs := findAllAlgs(seed)
+
+		oracles := make([]core.Algorithm, len(algs))
+		for i, alg := range algs {
+			twin, ok := core.Oracle(alg)
+			if !ok {
+				t.Fatalf("no oracle twin for %s", alg.Name())
+			}
+			oracles[i] = twin
+		}
+
+		for _, workers := range workerCounts {
+			inc := parallel.FindAll(list, &req, algs, workers)
+			orc := parallel.FindAll(list, &req, oracles, workers)
+			for i := range algs {
+				if (inc[i].Err == nil) != (orc[i].Err == nil) {
+					t.Fatalf("seed=%d workers=%d alg=%s: feasibility diverged: incremental err=%v, oracle err=%v",
+						seed, workers, algs[i].Name(), inc[i].Err, orc[i].Err)
+				}
+				is, os := testkit.WindowSignature(inc[i].Window), testkit.WindowSignature(orc[i].Window)
+				if is != os {
+					t.Errorf("seed=%d workers=%d alg=%s: incremental and oracle windows diverged\nincremental: %s\noracle:      %s",
+						seed, workers, algs[i].Name(), is, os)
+				}
+			}
+		}
+	}
+}

@@ -19,7 +19,10 @@
 // slot; anything beyond that is shed immediately with 429 and a
 // Retry-After header, so overload degrades by load shedding rather than by
 // unbounded goroutine/queue growth. Admitted requests run under a
-// per-request deadline (RequestTimeout).
+// per-request deadline (RequestTimeout); a request whose deadline expires
+// while it waits in the queue is answered 503 and counted separately
+// (deadline_expired in /v1/statusz) — the client did nothing wrong and the
+// request was never shed, the server was just too slow for its deadline.
 package server
 
 import (
@@ -28,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -70,6 +74,11 @@ type Server struct {
 	requests atomic.Uint64
 	shed     atomic.Uint64
 
+	// deadlineExpired counts requests whose deadline passed while they
+	// waited in the admission queue — answered 503, distinct from shed
+	// (queue full, answered 429).
+	deadlineExpired atomic.Uint64
+
 	// testHook, when set, runs inside the admission-guarded section of
 	// every request — the seam the overload tests use to keep handlers
 	// busy deterministically.
@@ -108,10 +117,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
-	if !s.admit(ctx) {
+	switch s.admit(ctx) {
+	case admitShed:
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+		return
+	case admitExpired:
+		s.deadlineExpired.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "request deadline expired while queued")
 		return
 	}
 	defer func() { <-s.inflight }()
@@ -119,6 +133,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.testHook()
 	}
 	if ctx.Err() != nil {
+		// Admitted, but the deadline passed before the handler could run —
+		// the same too-slow outcome as expiring in the queue.
+		s.deadlineExpired.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded in queue")
 		return
 	}
@@ -139,25 +156,41 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// admitResult distinguishes the admission outcomes: the two rejection
+// paths carry different status codes and counters.
+type admitResult int
+
+const (
+	// admitOK: an execution slot was acquired; the caller must release it.
+	admitOK admitResult = iota
+
+	// admitShed: the wait queue is full; the request is shed (429).
+	admitShed
+
+	// admitExpired: the request's deadline passed while it waited in the
+	// queue (503).
+	admitExpired
+)
+
 // admit implements the bounded queue: immediate entry when an execution
 // slot is free; otherwise wait in the bounded queue until a slot frees or
 // the deadline passes; shed when the queue itself is full.
-func (s *Server) admit(ctx context.Context) bool {
+func (s *Server) admit(ctx context.Context) admitResult {
 	select {
 	case s.inflight <- struct{}{}:
-		return true
+		return admitOK
 	default:
 	}
 	if s.queued.Add(1) > int64(s.opts.QueueDepth) {
 		s.queued.Add(-1)
-		return false
+		return admitShed
 	}
 	defer s.queued.Add(-1)
 	select {
 	case s.inflight <- struct{}{}:
-		return true
+		return admitOK
 	case <-ctx.Done():
-		return false
+		return admitExpired
 	}
 }
 
@@ -214,8 +247,7 @@ type searchBody struct {
 
 func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (*searchBody, *searchInputs, bool) {
 	var body searchBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !decodeStrict(w, r, &body) {
 		return nil, nil, false
 	}
 	if len(body.Request) == 0 {
@@ -335,6 +367,36 @@ func (s *Server) handleReserve(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// decodeStrict decodes exactly one JSON value from the request body. A
+// body over the MaxBytesReader cap is answered 413 (not a generic 400: the
+// client must shrink the payload, not fix its syntax), and trailing tokens
+// after the value are rejected — silently accepted garbage usually means a
+// concatenated or truncated payload the client should know about.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		}
+		return false
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		}
+		return false
+	}
+	return true
+}
+
 // idBody is the payload of /v1/commit and /v1/release.
 type idBody struct {
 	ID string `json:"id"`
@@ -342,8 +404,7 @@ type idBody struct {
 
 func (s *Server) decodeID(w http.ResponseWriter, r *http.Request) (string, bool) {
 	var body idBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !decodeStrict(w, r, &body) {
 		return "", false
 	}
 	if body.ID == "" {
@@ -406,10 +467,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"inventory": s.inv.Status(),
 		"server": map[string]any{
-			"requests": s.requests.Load(),
-			"shed":     s.shed.Load(),
-			"inflight": len(s.inflight),
-			"queued":   s.queued.Load(),
+			"requests":         s.requests.Load(),
+			"shed":             s.shed.Load(),
+			"deadline_expired": s.deadlineExpired.Load(),
+			"inflight":         len(s.inflight),
+			"queued":           s.queued.Load(),
 		},
 	})
 }

@@ -50,7 +50,12 @@ func postJSON(t *testing.T, url string, body any) (int, map[string]json.RawMessa
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	return postRaw(t, url, string(raw))
+}
+
+func postRaw(t *testing.T, url, raw string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,6 +220,27 @@ func TestErrorPaths(t *testing.T) {
 		{"empty id", "/v1/commit", map[string]any{}, http.StatusBadRequest},
 	} {
 		code, _ := postJSON(t, ts.URL+tc.url, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	// Raw-body rows: malformed framing the JSON marshaller cannot produce.
+	// Trailing tokens after the decoded value are rejected rather than
+	// silently dropped, and bodies over the 1 MiB cap map to 413, not a
+	// generic 400.
+	for _, tc := range []struct {
+		name string
+		url  string
+		raw  string
+		want int
+	}{
+		{"trailing tokens after search", "/v1/find", `{"alg":"amp"} {"second":1}`, http.StatusBadRequest},
+		{"trailing garbage after id", "/v1/commit", `{"id":"r1"}garbage`, http.StatusBadRequest},
+		{"oversized search body", "/v1/find", `{"pad":"` + strings.Repeat("x", 1<<20) + `"}`, http.StatusRequestEntityTooLarge},
+		{"oversized id body", "/v1/release", `{"id":"` + strings.Repeat("x", 1<<20) + `"}`, http.StatusRequestEntityTooLarge},
+	} {
+		code, _ := postRaw(t, ts.URL+tc.url, tc.raw)
 		if code != tc.want {
 			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
 		}
@@ -489,31 +515,107 @@ func TestRequestSpans(t *testing.T) {
 }
 
 // TestQueueWaitTimesOut: a request stuck in the admission queue past the
-// request deadline is rejected, not executed.
+// request deadline is answered 503 and counted as deadline_expired — it was
+// admitted to the queue, so it must not masquerade as load shedding (429 /
+// shed), which would tell the client to back off when the server simply was
+// too slow for the request's deadline. A queue-overflow request in the same
+// scenario still sheds with 429.
 func TestQueueWaitTimesOut(t *testing.T) {
 	release := make(chan struct{})
+	var unpinOnce sync.Once
+	unpin := func() { unpinOnce.Do(func() { close(release) }) }
 	srv, ts, _ := newTestServer(t, Options{
 		MaxInflight:    1,
-		QueueDepth:     4,
+		QueueDepth:     1,
 		RequestTimeout: 100 * time.Millisecond,
 	})
+	t.Cleanup(unpin)
 	srv.testHook = func() { <-release }
-	defer close(release)
 
 	// First request occupies the single inflight slot.
 	go http.Get(ts.URL + "/v1/statusz")
 	waitFor(t, func() bool { return len(srv.inflight) == 1 })
 
-	// Second request queues, then times out: handled as shed (429).
+	// Second request takes the single queue slot, then its deadline expires
+	// there: 503, not 429.
 	client := &http.Client{Timeout: 2 * time.Second}
+	type result struct {
+		code int
+		err  error
+	}
+	queued := make(chan result, 1)
+	go func() {
+		resp, err := client.Get(ts.URL + "/v1/statusz")
+		if err != nil {
+			queued <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		queued <- result{code: resp.StatusCode}
+	}()
+	waitFor(t, func() bool { return srv.queued.Load() == 1 })
+
+	// Third request finds the queue full and is shed immediately: 429.
 	resp, err := client.Get(ts.URL + "/v1/statusz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("queued-past-deadline request: status %d, want 429", resp.StatusCode)
+		t.Fatalf("queue-overflow request: status %d, want 429", resp.StatusCode)
 	}
+
+	r := <-queued
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.code != http.StatusServiceUnavailable {
+		t.Fatalf("queued-past-deadline request: status %d, want 503", r.code)
+	}
+	if got := srv.deadlineExpired.Load(); got != 1 {
+		t.Errorf("deadlineExpired = %d, want 1", got)
+	}
+	if got := srv.shed.Load(); got != 1 {
+		t.Errorf("shed = %d, want 1 (the queue-overflow request only)", got)
+	}
+
+	// The counter is surfaced in /v1/statusz once the gate drains.
+	unpin()
+	waitFor(t, func() bool { return len(srv.inflight) == 0 })
+	code, out := postRawGet(t, ts.URL+"/v1/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz after drain: status %d", code)
+	}
+	var status struct {
+		DeadlineExpired uint64 `json:"deadline_expired"`
+		Shed            uint64 `json:"shed"`
+	}
+	if err := json.Unmarshal(out["server"], &status); err != nil {
+		t.Fatalf("statusz server section: %v (raw %s)", err, out["server"])
+	}
+	// 2: the queued request that expired waiting, plus the pinned request —
+	// admitted, but held past its deadline by the test hook, so it hits the
+	// post-admission expiry branch when released.
+	if status.DeadlineExpired != 2 {
+		t.Errorf("statusz deadline_expired = %d, want 2", status.DeadlineExpired)
+	}
+	if status.Shed != 1 {
+		t.Errorf("statusz shed = %d, want 1", status.Shed)
+	}
+}
+
+func postRawGet(t *testing.T, url string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
 }
 
 func waitFor(t *testing.T, cond func() bool) {

@@ -93,6 +93,30 @@ func PoisonVisit(visit core.VisitFunc) core.VisitFunc {
 	}
 }
 
+// PoisonIndexedVisit is PoisonVisit's twin for the indexed scan path: every
+// call receives a private rebuild of the scan's WindowIndex (same candidate
+// set, and therefore — the mirror orders are total — the same mirror
+// contents), and the private index's live views are poisoned the moment the
+// inner visit returns. A selection kernel that retains a live view instead
+// of copying what it keeps builds its window from poisoned candidates.
+// Install it with core.SetIndexedVisitWrapForTest(testkit.PoisonIndexedVisit).
+func PoisonIndexedVisit(visit core.IndexedVisitFunc) core.IndexedVisitFunc {
+	return func(start float64, win *core.WindowIndex) bool {
+		private := core.NewWindowIndex(win.Cands())
+		stop := visit(start, private)
+		for _, view := range [][]core.Candidate{private.Cands(), private.ByCost(), private.ByExec()} {
+			for i := range view {
+				view[i] = core.Candidate{
+					Slot: &slots.Slot{Node: poisonedNode, Interval: slots.Interval{Start: math.NaN(), End: math.NaN()}},
+					Exec: math.NaN(),
+					Cost: math.NaN(),
+				}
+			}
+		}
+		return stop
+	}
+}
+
 // WindowSignature renders every field of a window (including each
 // placement's node and exact slot interval) into a canonical string, so
 // two windows are value-identical iff their signatures are equal. The
