@@ -1,13 +1,16 @@
 // Command slotbench is the reproducible benchmark harness of the selection
 // kernels: it times the Find, CSA and batch-scheduling hot paths across
 // node-count and window-size grids — each Find grid point once with the
-// shipped incremental WindowIndex kernels and once with the retained
-// copy+sort oracle kernels — and writes machine-readable JSON
-// (BENCH_4.json) for the repo's bench trajectory.
+// shipped incremental WindowIndex kernels on a reused Scanner and once
+// with the retained copy+sort oracle kernels — and writes machine-readable
+// JSON (BENCH_5.json) for the repo's bench trajectory. Alongside ns_per_op
+// each grid point carries allocs_per_op and bytes_per_op, measured as
+// runtime.MemStats deltas over a warmed-up batch; the incremental find
+// rows are expected to report 0 allocations.
 //
 // Usage:
 //
-//	slotbench [-seed N] [-iters K] [-nodes 16,32,64,128] [-tasks 2,5,10] [-o BENCH_4.json]
+//	slotbench [-seed N] [-iters K] [-nodes 16,32,64,128] [-tasks 2,5,10] [-o BENCH_5.json]
 //	slotbench -check        # kernel differential over the grid; non-zero exit on mismatch
 //
 // Same seed ⇒ same instances; timings are the minimum over -iters

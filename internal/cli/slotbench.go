@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -46,9 +47,16 @@ type benchResult struct {
 	// repetitions.
 	NsPerOp int64 `json:"ns_per_op"`
 	Iters   int   `json:"iters"`
+
+	// AllocsPerOp and BytesPerOp are the steady-state heap costs of one
+	// operation, measured as runtime.MemStats deltas over a warmed-up
+	// batch. The incremental find kernels run on a reused Scanner and are
+	// expected to report 0 here; the oracle kernels allocate by design.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
-// benchFile is the overall BENCH_4.json shape.
+// benchFile is the overall BENCH_5.json shape.
 type benchFile struct {
 	Issue   int           `json:"issue"`
 	Seed    uint64        `json:"seed"`
@@ -58,9 +66,10 @@ type benchFile struct {
 // Slotbench is the reproducible benchmark harness of the incremental
 // selection kernels (see cmd/slotbench): it times the Find, CSA and batch
 // hot paths across node-count and window-size grids, once per kernel where
-// an oracle twin exists, and emits machine-readable JSON. With -check it
-// instead runs the kernel differential across the same grid and fails on
-// any signature mismatch — the CI gate.
+// an oracle twin exists, and emits machine-readable JSON with ns_per_op,
+// allocs_per_op and bytes_per_op columns. With -check it instead runs the
+// kernel differential across the same grid and fails on any signature
+// mismatch — the CI gate.
 func Slotbench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("slotbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -69,7 +78,7 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 		iters     = fs.Int("iters", 5, "timed repetitions per grid point (the minimum is reported)")
 		nodesGrid = fs.String("nodes", "16,32,64,128", "comma-separated node-count grid")
 		tasksGrid = fs.String("tasks", "2,5,10", "comma-separated window-size (task count) grid")
-		outPath   = fs.String("o", "BENCH_4.json", "output JSON path (- = stdout)")
+		outPath   = fs.String("o", "BENCH_5.json", "output JSON path (- = stdout)")
 		check     = fs.Bool("check", false, "run the incremental-vs-oracle differential over the grid instead of timing; non-zero exit on mismatch")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +103,8 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 		return benchCheck(stdout, stderr, *seed, nodeCounts, taskCounts)
 	}
 
-	file := benchFile{Issue: 4, Seed: *seed}
+	file := benchFile{Issue: 5, Seed: *seed}
+	sc := core.NewScanner()
 	for _, nc := range nodeCounts {
 		e := env.Generate(env.DefaultConfig().WithNodeCount(nc), randx.New(*seed))
 		list := e.Slots
@@ -107,49 +117,62 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, "slotbench: no oracle twin for %s\n", alg.Name())
 					return 1
 				}
+				// The incremental kernel runs through the reused Scanner —
+				// the steady-state service shape, and the configuration the
+				// zero-alloc gate pins. The oracle twin has no pooled path;
+				// its per-visit copy+sort allocations are the baseline the
+				// alloc columns contrast against.
+				r1, r2 := req, req
+				alg := alg
 				for _, run := range []struct {
 					kernel string
-					alg    core.Algorithm
+					op     func()
 				}{
-					{"incremental", alg},
-					{"oracle", oracle},
+					{"incremental", func() { _, _ = sc.FindObserved(alg, list, &r1, nil) }},
+					{"oracle", func() { _, _ = oracle.Find(list, &r2) }},
 				} {
-					r := req
-					ns := benchTime(*iters, func() {
-						_, _ = run.alg.Find(list, &r)
-					})
+					ns := benchTime(*iters, run.op)
+					allocs, bytes := benchAlloc(findAllocRounds, run.op)
 					file.Results = append(file.Results, benchResult{
 						Bench: "find", Alg: alg.Name(), Kernel: run.kernel,
 						Nodes: nc, Slots: len(list), Tasks: tasks,
 						NsPerOp: ns, Iters: *iters,
+						AllocsPerOp: allocs, BytesPerOp: bytes,
 					})
 				}
 			}
 
 			// CSA alternative search: repeated AMP over a carved working
-			// copy — the inventory/reserve hot path.
+			// copy — the inventory/reserve hot path. Search draws a pooled
+			// scanner internally, so this times the shipped clone-free loop.
 			r := req
-			ns := benchTime(*iters, func() {
+			csaOp := func() {
 				_, _ = csa.Search(list, &r, csa.Options{MaxAlternatives: 10, MinSlotLength: 10})
-			})
+			}
+			ns := benchTime(*iters, csaOp)
+			allocs, bytes := benchAlloc(csaAllocRounds, csaOp)
 			file.Results = append(file.Results, benchResult{
 				Bench: "csa", Nodes: nc, Slots: len(list), Tasks: tasks,
 				NsPerOp: ns, Iters: *iters,
+				AllocsPerOp: allocs, BytesPerOp: bytes,
 			})
 		}
 
 		// Two-stage batch scheduling over a random batch: stage-1 CSA per
 		// job plus the stage-2 selection DP.
 		const batchJobs = 8
-		ns := benchTime(*iters, func() {
+		batchOp := func() {
 			batch := testkit.RandomBatch(randx.New(*seed), batchJobs)
 			_, _ = batchsched.Schedule(list, batch,
 				csa.Options{MaxAlternatives: 3, MinSlotLength: 10},
 				batchsched.SelectConfig{Budget: 4000, Criterion: csa.ByFinish})
-		})
+		}
+		ns := benchTime(*iters, batchOp)
+		allocs, bytes := benchAlloc(batchAllocRounds, batchOp)
 		file.Results = append(file.Results, benchResult{
 			Bench: "batch", Nodes: nc, Slots: len(list), Jobs: batchJobs,
 			NsPerOp: ns, Iters: *iters,
+			AllocsPerOp: allocs, BytesPerOp: bytes,
 		})
 	}
 
@@ -241,10 +264,42 @@ func benchRequest(tasks int) job.Request {
 	return job.Request{TaskCount: tasks, Volume: 150, MaxCost: 300 * float64(tasks)}
 }
 
+// Allocation-measurement batch sizes, matched to the per-op cost of each
+// hot path so a batch stays in the low milliseconds even at 128 nodes.
+const (
+	findAllocRounds  = 200
+	csaAllocRounds   = 50
+	batchAllocRounds = 5
+)
+
+// benchAlloc reports the mean heap allocations and bytes of one op over a
+// warmed-up batch, from runtime.MemStats' monotonic Mallocs / TotalAlloc
+// counters. The warm-up run pays the one-time costs (index capacity
+// growth, pool warm-up) that the steady-state figure must exclude; the GC
+// fence keeps a concurrently finishing sweep from attributing its work to
+// the batch.
+func benchAlloc(rounds int, op func()) (allocsPerOp, bytesPerOp float64) {
+	op()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		op()
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(rounds)
+	return float64(after.Mallocs-before.Mallocs) / n, float64(after.TotalAlloc-before.TotalAlloc) / n
+}
+
 // benchTime runs op iters times and returns the minimum wall time of one
 // run — the standard least-noise estimator for deterministic workloads.
+// The GC fence matters: without it, garbage left by a previous grid
+// point's allocation batch makes the collector tax every timed rep with
+// assist work, and even a minimum-of-iters estimator cannot dodge a
+// slowdown that covers the whole window.
 func benchTime(iters int, op func()) int64 {
 	op() // warm-up: page in the list, size the allocator
+	runtime.GC()
 	best := int64(0)
 	for i := 0; i < iters; i++ {
 		start := time.Now()

@@ -3,7 +3,6 @@ package core
 import (
 	"slotsel/internal/job"
 	"slotsel/internal/obs"
-	"slotsel/internal/randx"
 	"slotsel/internal/slots"
 )
 
@@ -35,24 +34,12 @@ func (a AMP) Find(list slots.List, req *job.Request) (*Window, error) {
 	return a.FindObserved(list, req, nil)
 }
 
-// FindObserved implements ObservedFinder.
-func (AMP) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
-	var best *Window
-	err := ScanIndexed(list, req, func(start float64, win *WindowIndex) bool {
-		chosen, _, ok := win.SelectMinCost(req.TaskCount, req.MaxCost)
-		if !ok {
-			return false
-		}
-		best = NewWindow(start, chosen)
-		return true // earliest start found; later positions cannot improve
-	}, col)
-	if err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return nil, ErrNoWindow
-	}
-	return best, nil
+// FindObserved implements ObservedFinder. The search runs on a pooled
+// Scanner (see vkAMP in scanner.go for the selection step: the cheapest
+// feasible sub-window at the earliest feasible start); findPooled detaches
+// the result so it stays caller-owned.
+func (a AMP) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
+	return findPooled(a, list, req, col)
 }
 
 // MinCost searches for the window with the minimum total allocation cost on
@@ -68,26 +55,10 @@ func (a MinCost) Find(list slots.List, req *job.Request) (*Window, error) {
 	return a.FindObserved(list, req, nil)
 }
 
-// FindObserved implements ObservedFinder.
-func (MinCost) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
-	var best *Window
-	err := ScanIndexed(list, req, func(start float64, win *WindowIndex) bool {
-		chosen, cost, ok := win.SelectMinCost(req.TaskCount, req.MaxCost)
-		if !ok {
-			return false
-		}
-		if best == nil || cost < best.Cost {
-			best = NewWindow(start, chosen)
-		}
-		return false
-	}, col)
-	if err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return nil, ErrNoWindow
-	}
-	return best, nil
+// FindObserved implements ObservedFinder. Runs on a pooled Scanner
+// (vkMinCost: keep the cheapest selection over all scan positions).
+func (a MinCost) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
+	return findPooled(a, list, req, col)
 }
 
 // MinRunTime searches for the window with the minimum execution runtime
@@ -116,33 +87,11 @@ func (a MinRunTime) Find(list slots.List, req *job.Request) (*Window, error) {
 	return a.FindObserved(list, req, nil)
 }
 
-// FindObserved implements ObservedFinder.
+// FindObserved implements ObservedFinder. Runs on a pooled Scanner
+// (vkMinRunTime: greedy substitution or exact prefix selection per the
+// Exact flag, keeping the shortest runtime over all positions).
 func (a MinRunTime) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
-	var best *Window
-	err := ScanIndexed(list, req, func(start float64, win *WindowIndex) bool {
-		var chosen []Candidate
-		var runtime float64
-		var ok bool
-		if a.Exact {
-			chosen, runtime, ok = win.SelectMinRuntimeExact(req.TaskCount, req.MaxCost)
-		} else {
-			chosen, runtime, ok = win.SelectMinRuntimeGreedy(req.TaskCount, req.MaxCost, a.LiteralBudget)
-		}
-		if !ok {
-			return false
-		}
-		if best == nil || runtime < best.Runtime {
-			best = NewWindow(start, chosen)
-		}
-		return false
-	}, col)
-	if err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return nil, ErrNoWindow
-	}
-	return best, nil
+	return findPooled(a, list, req, col)
 }
 
 // MinFinish searches for the window with the earliest finish time. At every
@@ -174,36 +123,11 @@ func (a MinFinish) Find(list slots.List, req *job.Request) (*Window, error) {
 	return a.FindObserved(list, req, nil)
 }
 
-// FindObserved implements ObservedFinder.
+// FindObserved implements ObservedFinder. Runs on a pooled Scanner
+// (vkMinFinish: build at every feasible position, keep the earliest
+// finish; EarlyStop prunes once start passes the best finish).
 func (a MinFinish) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
-	var best *Window
-	err := ScanIndexed(list, req, func(start float64, win *WindowIndex) bool {
-		if a.EarlyStop && best != nil && start >= best.Finish() {
-			return true // every further window finishes after start >= best
-		}
-		var chosen []Candidate
-		var ok bool
-		if a.Exact {
-			chosen, _, ok = win.SelectMinRuntimeExact(req.TaskCount, req.MaxCost)
-		} else {
-			chosen, _, ok = win.SelectMinRuntimeGreedy(req.TaskCount, req.MaxCost, false)
-		}
-		if !ok {
-			return false
-		}
-		w := NewWindow(start, chosen)
-		if best == nil || w.Finish() < best.Finish() {
-			best = w
-		}
-		return false
-	}, col)
-	if err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return nil, ErrNoWindow
-	}
-	return best, nil
+	return findPooled(a, list, req, col)
 }
 
 // MinProcTime is the paper's *simplified* total-processor-time minimizer:
@@ -226,32 +150,12 @@ func (a MinProcTime) Find(list slots.List, req *job.Request) (*Window, error) {
 	return a.FindObserved(list, req, nil)
 }
 
-// FindObserved implements ObservedFinder.
+// FindObserved implements ObservedFinder. Runs on a pooled Scanner
+// (vkMinProcRandom: the scanner's generator is reseeded with a.Seed per
+// search, so the sampled stream — and therefore the result — is identical
+// to a freshly constructed generator's).
 func (a MinProcTime) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
-	rng := randx.New(a.Seed)
-	var best *Window
-	// The random sub-window step reads the window in append order only, so
-	// it runs on the plain scan path: the cost-ordered index would be
-	// maintained and never read (benchmarked at ~2x the algorithm's whole
-	// working time on 128-node instances).
-	err := ScanObserved(list, req, func(start float64, cands []Candidate) bool {
-		chosen, ok := selectRandom(cands, req.TaskCount, req.MaxCost, rng)
-		if !ok {
-			return false
-		}
-		w := NewWindow(start, chosen)
-		if best == nil || w.ProcTime < best.ProcTime {
-			best = w
-		}
-		return false
-	}, col)
-	if err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return nil, ErrNoWindow
-	}
-	return best, nil
+	return findPooled(a, list, req, col)
 }
 
 // MinProcTimeGreedy is an extension: the additive greedy substitution
@@ -268,27 +172,10 @@ func (a MinProcTimeGreedy) Find(list slots.List, req *job.Request) (*Window, err
 	return a.FindObserved(list, req, nil)
 }
 
-// FindObserved implements ObservedFinder.
-func (MinProcTimeGreedy) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
-	var best *Window
-	err := ScanIndexed(list, req, func(start float64, win *WindowIndex) bool {
-		chosen, total, ok := win.SelectMinAdditiveGreedy(req.TaskCount, req.MaxCost,
-			func(c Candidate) float64 { return c.Exec })
-		if !ok {
-			return false
-		}
-		if best == nil || total < best.ProcTime {
-			best = NewWindow(start, chosen)
-		}
-		return false
-	}, col)
-	if err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return nil, ErrNoWindow
-	}
-	return best, nil
+// FindObserved implements ObservedFinder. Runs on a pooled Scanner
+// (vkMinProcGreedy: additive greedy substitution weighted by Exec).
+func (a MinProcTimeGreedy) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
+	return findPooled(a, list, req, col)
 }
 
 // EnergyModel maps a placement (its node performance and execution time) to
@@ -328,31 +215,26 @@ func (a MinEnergy) Find(list slots.List, req *job.Request) (*Window, error) {
 	return a.FindObserved(list, req, nil)
 }
 
-// FindObserved implements ObservedFinder.
+// FindObserved implements ObservedFinder. Runs on a pooled Scanner
+// (vkMinEnergy: additive greedy substitution over the energy weight; a nil
+// Model binds the allocation-free default, a custom Model costs one
+// closure per search).
 func (a MinEnergy) FindObserved(list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
-	model := a.Model
-	if model == nil {
-		model = DefaultEnergyModel
-	}
-	var best *Window
-	var bestEnergy float64
-	err := ScanIndexed(list, req, func(start float64, win *WindowIndex) bool {
-		chosen, total, ok := win.SelectMinAdditiveGreedy(req.TaskCount, req.MaxCost,
-			func(c Candidate) float64 { return model(c.Slot.Node.Perf, c.Exec) })
-		if !ok {
-			return false
-		}
-		if best == nil || total < bestEnergy {
-			best = NewWindow(start, chosen)
-			bestEnergy = total
-		}
-		return false
-	}, col)
+	return findPooled(a, list, req, col)
+}
+
+// findPooled is the shared public-Find epilogue: borrow a pooled Scanner,
+// search on its recycled state, and detach the result so the caller owns
+// it after the scanner returns to the pool. The detach costs two small
+// allocations per successful search — the price of the caller-owned result
+// contract; zero-allocation callers hold a Scanner and use
+// Scanner.FindObserved / FindObservedScanner directly.
+func findPooled(alg Algorithm, list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
+	sc := AcquireScanner()
+	defer ReleaseScanner(sc)
+	w, err := sc.FindObserved(alg, list, req, col)
 	if err != nil {
 		return nil, err
 	}
-	if best == nil {
-		return nil, ErrNoWindow
-	}
-	return best, nil
+	return w.Detach(), nil
 }

@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"slotsel/internal/core"
+	"slotsel/internal/job"
+	"slotsel/internal/randx"
+	"slotsel/internal/testkit"
+)
+
+// This file is the zero-allocation regression gate (run by CI's bench-smoke
+// job without the race detector): every indexed algorithm must perform ZERO
+// steady-state heap allocations per Find on a warmed-up Scanner, and the
+// public pooled entry points must stay within their small documented
+// budgets. The tests use explicit Scanners, not the pool: sync.Pool entries
+// are droppable by GC, which would make a pool-based zero-budget test flaky.
+
+// allocBudget pairs an algorithm with its per-Find budgets: zero on a
+// warmed-up scanner for every algorithm, and the public pooled Find's
+// small documented cost — two allocations for the result detach (Window
+// struct + placements array), plus one interface re-boxing of the
+// receiver inside findPooled for the flag-carrying algorithm structs
+// (the zero-sized and small-word receivers box for free via the
+// runtime's static singletons).
+type allocBudget struct {
+	alg     core.Algorithm
+	scanner float64
+	public  float64
+}
+
+// scannerBudgets is the steady-state contract of Scanner.FindObserved: all
+// nine catalogue algorithms at zero — including MinProcTime, whose RNG path
+// draws its sample through randx.SampleInto into scanner-owned scratch.
+func scannerBudgets() []allocBudget {
+	return []allocBudget{
+		{core.AMP{}, 0, 2},
+		{core.MinCost{}, 0, 2},
+		{core.MinRunTime{}, 0, 3},
+		{core.MinRunTime{Exact: true}, 0, 3},
+		{core.MinFinish{}, 0, 3},
+		{core.MinFinish{Exact: true}, 0, 3},
+		{core.MinProcTimeGreedy{}, 0, 2},
+		{core.MinEnergy{}, 0, 2},
+		{core.MinProcTime{Seed: 11}, 0, 2},
+	}
+}
+
+// TestScannerFindAllocs is the tentpole's acceptance gate: steady-state
+// Finds on a reused Scanner allocate nothing, for every catalogue
+// algorithm.
+func TestScannerFindAllocs(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	rng := randx.New(3)
+	list := testkit.RandomList(rng, 16, 4, 400)
+	req := job.Request{TaskCount: 3, Volume: 80, MaxCost: 5000}
+	for _, ab := range scannerBudgets() {
+		sc := core.NewScanner()
+		r := req // outside the closure: the visitor retains &r for the search
+		// Warm up past lazy capacity growth (byExec activation, arena).
+		if _, err := sc.FindObserved(ab.alg, list, &r, nil); err != nil {
+			t.Fatalf("%s: warm-up find failed: %v", ab.alg.Name(), err)
+		}
+		got := testing.AllocsPerRun(50, func() {
+			_, _ = sc.FindObserved(ab.alg, list, &r, nil)
+		})
+		if got > ab.scanner {
+			t.Errorf("%s: %v allocs/op on a warmed-up scanner, budget %v", ab.alg.Name(), got, ab.scanner)
+		}
+	}
+}
+
+// TestPublicFindAllocs documents the public Algorithm.Find budget: the
+// pooled path costs the result detach (one Window struct + one placements
+// array, the price of the caller-owned result contract) plus at most one
+// interface re-boxing (see allocBudget). Pool Get/Put of pointers is free.
+func TestPublicFindAllocs(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	rng := randx.New(3)
+	list := testkit.RandomList(rng, 16, 4, 400)
+	req := job.Request{TaskCount: 3, Volume: 80, MaxCost: 5000}
+	for _, ab := range scannerBudgets() {
+		r := req
+		if _, err := ab.alg.Find(list, &r); err != nil {
+			t.Fatalf("%s: warm-up find failed: %v", ab.alg.Name(), err)
+		}
+		got := testing.AllocsPerRun(50, func() {
+			_, _ = ab.alg.Find(list, &r)
+		})
+		if got > ab.public {
+			t.Errorf("%s: %v allocs/op through the public Find, budget %v", ab.alg.Name(), got, ab.public)
+		}
+	}
+}

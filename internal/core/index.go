@@ -47,6 +47,12 @@ type WindowIndex struct {
 	// that only ever see the raw candidate slice do not pay for an index
 	// they cannot reach.
 	mirror bool
+
+	// scratch is the reusable chosen-slice buffer of the unexported
+	// select*Scratch kernels: one buffer, recycled across visits, consumed
+	// by the caller before the next selection. The exported Select* methods
+	// keep their fresh-slice contract by copying out of it.
+	scratch []Candidate
 }
 
 // NewWindowIndex builds an index over a snapshot of the given candidates
@@ -193,17 +199,27 @@ func (ix *WindowIndex) reset() {
 	ix.prefix = ix.prefix[:0]
 	ix.byExec = ix.byExec[:0]
 	ix.trackExec = false
+	ix.scratch = ix.scratch[:0]
 }
 
 // activateExec lazily builds the exec-ordered mirror; from then on add and
-// expire maintain it incrementally.
+// expire maintain it incrementally. The one-shot build is a binary
+// insertion sort rather than sort.Slice: execLess is a strict total order,
+// so the result is identical, and the insertion sort works in place
+// without sort.Slice's reflection allocation.
 func (ix *WindowIndex) activateExec() {
 	if ix.trackExec {
 		return
 	}
 	ix.trackExec = true
-	ix.byExec = append(ix.byExec[:0], ix.cands...)
-	sort.Slice(ix.byExec, func(i, j int) bool { return execLess(ix.byExec[i], ix.byExec[j]) })
+	s := append(ix.byExec[:0], ix.cands...)
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		pos := sort.Search(i, func(j int) bool { return execLess(c, s[j]) })
+		copy(s[pos+1:i+1], s[pos:i])
+		s[pos] = c
+	}
+	ix.byExec = s
 }
 
 // CheapestN returns a fresh copy of the n cheapest candidates, in the
@@ -217,6 +233,17 @@ func (ix *WindowIndex) CheapestN(n int) []Candidate {
 // prefix-sum read, so the per-visit work is O(n) (the copy) instead of
 // O(w log w).
 func (ix *WindowIndex) SelectMinCost(n int, budget float64) (chosen []Candidate, cost float64, ok bool) {
+	s, cost, ok := ix.selectMinCostScratch(n, budget)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]Candidate(nil), s...), cost, true
+}
+
+// selectMinCostScratch is SelectMinCost into the index's scratch buffer:
+// same selection, no allocation. The returned slice is the scratch — valid
+// only until the next select on this index.
+func (ix *WindowIndex) selectMinCostScratch(n int, budget float64) (chosen []Candidate, cost float64, ok bool) {
 	if len(ix.byCost) < n {
 		return nil, 0, false
 	}
@@ -224,7 +251,9 @@ func (ix *WindowIndex) SelectMinCost(n int, budget float64) (chosen []Candidate,
 	if budget > 0 && cost > budget {
 		return nil, 0, false
 	}
-	return ix.CheapestN(n), cost, true
+	s := append(ix.scratch[:0], ix.byCost[:n]...)
+	ix.scratch = s
+	return s, cost, true
 }
 
 // SelectMinRuntimeGreedy is the incremental twin of selectMinRuntimeGreedy:
@@ -234,6 +263,16 @@ func (ix *WindowIndex) SelectMinCost(n int, budget float64) (chosen []Candidate,
 // unchanged, so the output is candidate-for-candidate identical to the
 // oracle's.
 func (ix *WindowIndex) SelectMinRuntimeGreedy(n int, budget float64, literalBudget bool) (chosen []Candidate, runtime float64, ok bool) {
+	s, runtime, ok := ix.selectMinRuntimeGreedyScratch(n, budget, literalBudget)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]Candidate(nil), s...), runtime, true
+}
+
+// selectMinRuntimeGreedyScratch is SelectMinRuntimeGreedy into the index's
+// scratch buffer; the returned slice is valid until the next select.
+func (ix *WindowIndex) selectMinRuntimeGreedyScratch(n int, budget float64, literalBudget bool) (chosen []Candidate, runtime float64, ok bool) {
 	if len(ix.byCost) < n {
 		return nil, 0, false
 	}
@@ -241,7 +280,8 @@ func (ix *WindowIndex) SelectMinRuntimeGreedy(n int, budget float64, literalBudg
 	if budget > 0 && cost > budget {
 		return nil, 0, false
 	}
-	result := append([]Candidate(nil), ix.byCost[:n]...)
+	result := append(ix.scratch[:0], ix.byCost[:n]...)
+	ix.scratch = result
 	for _, short := range ix.byCost[n:] {
 		longIdx := maxExecIndex(result)
 		long := result[longIdx]
@@ -267,6 +307,17 @@ func (ix *WindowIndex) SelectMinRuntimeGreedy(n int, budget float64, literalBudg
 // SelectMinAdditiveGreedy is the incremental twin of
 // selectMinAdditiveGreedy for an arbitrary additive per-slot weight.
 func (ix *WindowIndex) SelectMinAdditiveGreedy(n int, budget float64, weight func(Candidate) float64) (chosen []Candidate, total float64, ok bool) {
+	s, total, ok := ix.selectMinAdditiveGreedyScratch(n, budget, weight)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]Candidate(nil), s...), total, true
+}
+
+// selectMinAdditiveGreedyScratch is SelectMinAdditiveGreedy into the
+// index's scratch buffer; the returned slice is valid until the next
+// select.
+func (ix *WindowIndex) selectMinAdditiveGreedyScratch(n int, budget float64, weight func(Candidate) float64) (chosen []Candidate, total float64, ok bool) {
 	if len(ix.byCost) < n {
 		return nil, 0, false
 	}
@@ -274,7 +325,8 @@ func (ix *WindowIndex) SelectMinAdditiveGreedy(n int, budget float64, weight fun
 	if budget > 0 && cost > budget {
 		return nil, 0, false
 	}
-	result := append([]Candidate(nil), ix.byCost[:n]...)
+	result := append(ix.scratch[:0], ix.byCost[:n]...)
+	ix.scratch = result
 	for _, short := range ix.byCost[n:] {
 		heavyIdx := 0
 		for i := range result {
@@ -305,11 +357,22 @@ func (ix *WindowIndex) SelectMinAdditiveGreedy(n int, budget float64, weight fun
 // mirror instead of a per-visit sort. The first call of a scan sorts the
 // current window once to activate the mirror; later visits reuse it.
 func (ix *WindowIndex) SelectMinRuntimeExact(n int, budget float64) (chosen []Candidate, runtime float64, ok bool) {
+	s, runtime, ok := ix.selectMinRuntimeExactScratch(n, budget)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]Candidate(nil), s...), runtime, true
+}
+
+// selectMinRuntimeExactScratch is SelectMinRuntimeExact with the cost heap
+// living in the index's scratch buffer; the returned slice is valid until
+// the next select.
+func (ix *WindowIndex) selectMinRuntimeExactScratch(n int, budget float64) (chosen []Candidate, runtime float64, ok bool) {
 	if len(ix.cands) < n {
 		return nil, 0, false
 	}
 	ix.activateExec()
-	heap := make([]Candidate, 0, n)
+	heap := ix.scratch[:0]
 	sum := 0.0
 	for i, c := range ix.byExec {
 		if len(heap) < n {
@@ -324,10 +387,12 @@ func (ix *WindowIndex) SelectMinRuntimeExact(n int, budget float64) (chosen []Ca
 				continue
 			}
 			if budget <= 0 || sum <= budget {
-				return append([]Candidate(nil), heap...), ix.byExec[i].Exec, true
+				ix.scratch = heap
+				return heap, ix.byExec[i].Exec, true
 			}
 		}
 	}
+	ix.scratch = heap
 	return nil, 0, false
 }
 

@@ -43,6 +43,24 @@ func FindObserved(alg Algorithm, list slots.List, req *job.Request, col obs.Coll
 	return w, err
 }
 
+// FindObservedScanner is FindObserved on a caller-provided Scanner: the
+// same SelectDone/span emission, but the search runs on sc's recycled
+// state, so a long-lived caller (a parallel worker, the inventory's
+// retry loop) amortizes all search allocations to zero. The returned
+// window is scanner-owned — valid until sc's next search — and must be
+// Detached if kept.
+func FindObservedScanner(sc *Scanner, alg Algorithm, list slots.List, req *job.Request, col obs.Collector) (*Window, error) {
+	if col == nil {
+		return sc.FindObserved(alg, list, req, nil)
+	}
+	begin := obs.Now()
+	w, err := sc.FindObserved(alg, list, req, col)
+	elapsed := obs.Now() - begin
+	col.SelectDone(obs.SelectStats{Alg: alg.Name(), Found: w != nil, Elapsed: elapsed})
+	col.Span(obs.Span{Name: alg.Name(), Cat: "select", Start: begin, Dur: elapsed})
+	return w, err
+}
+
 // Instrument wraps alg so that every Find reports to col, for call sites
 // that accept a plain Algorithm and cannot thread a collector explicitly
 // (e.g. batchsched.ScheduleDirected). Instrument(alg, nil) returns alg

@@ -93,7 +93,9 @@ func ScanObserved(list slots.List, req *job.Request, visit VisitFunc, col obs.Co
 	if visitWrap != nil {
 		visit = visitWrap(visit)
 	}
-	return scanLoop(list, req, col, false, func(start float64, ix *WindowIndex) bool {
+	sc := AcquireScanner()
+	defer ReleaseScanner(sc)
+	return scanLoop(list, req, col, false, &sc.win, func(start float64, ix *WindowIndex) bool {
 		return visit(start, ix.cands)
 	})
 }
@@ -108,7 +110,9 @@ func ScanIndexed(list slots.List, req *job.Request, visit IndexedVisitFunc, col 
 	if indexWrap != nil {
 		visit = indexWrap(visit)
 	}
-	return scanLoop(list, req, col, true, visit)
+	sc := AcquireScanner()
+	defer ReleaseScanner(sc)
+	return scanLoop(list, req, col, true, &sc.win, visit)
 }
 
 // scanLoop is the single shared scan implementation. Slots sharing a start
@@ -117,7 +121,14 @@ func ScanIndexed(list slots.List, req *job.Request, visit IndexedVisitFunc, col 
 // algorithm (AMP) sees the complete candidate set at a tied start instead
 // of a partially built window, and the other algorithms pay one selection
 // call per distinct start rather than one per tied slot.
-func scanLoop(list slots.List, req *job.Request, col obs.Collector, indexed bool, visit IndexedVisitFunc) error {
+//
+// win is caller-provided recycled state (a Scanner's index): the loop
+// resets it and reuses its capacity, so a warmed-up scan allocates nothing
+// for window maintenance. Its size is bounded by the node count (per node,
+// free slots are disjoint, and every retained slot contains the current
+// start), which is what makes the per-step maintenance cost O(nodes) and
+// the whole scan O(m x nodes).
+func scanLoop(list slots.List, req *job.Request, col obs.Collector, indexed bool, win *WindowIndex, visit IndexedVisitFunc) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
@@ -130,13 +141,8 @@ func scanLoop(list slots.List, req *job.Request, col obs.Collector, indexed bool
 	}
 	var st obs.ScanStats
 
-	// win is the current extended window: slots that still can host a task
-	// for a window starting at the current position, plus its cost-ordered
-	// mirror and prefix sums. Its size is bounded by the node count (per
-	// node, free slots are disjoint, and every retained slot contains the
-	// current start), which is what makes the per-step maintenance cost
-	// O(nodes) and the whole scan O(m x nodes).
-	win := WindowIndex{mirror: indexed}
+	win.reset()
+	win.mirror = indexed
 
 	for i := 0; i < len(list); {
 		start := list[i].Start
@@ -182,7 +188,7 @@ func scanLoop(list slots.List, req *job.Request, col obs.Collector, indexed bool
 
 		if win.Len() >= req.TaskCount {
 			st.Visits++
-			if visit(start, &win) {
+			if visit(start, win) {
 				st.EarlyStop = true
 				break
 			}

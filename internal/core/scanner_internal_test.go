@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"slotsel/internal/job"
+	"slotsel/internal/nodes"
+	"slotsel/internal/randx"
+	"slotsel/internal/slots"
+)
+
+// This file is the dirty-pool adversarial suite: it poisons every piece of
+// recycled Scanner state a previous (buggy or malicious) user could have
+// left behind and asserts that searches on the recycled scanner are
+// bit-identical to searches on a fresh one. It lives in package core —
+// not core_test — because poisoning private fields is the point; it
+// cannot use testkit (import cycle), so it carries small local twins of
+// the list generator and the window signature.
+
+// scannerCatalogue mirrors the shipped algorithm catalogue.
+func scannerCatalogue(seed uint64) []Algorithm {
+	return []Algorithm{
+		AMP{},
+		MinCost{},
+		MinRunTime{},
+		MinRunTime{Exact: true},
+		MinRunTime{LiteralBudget: true},
+		MinFinish{},
+		MinFinish{Exact: true},
+		MinFinish{EarlyStop: true},
+		MinProcTime{Seed: seed},
+		MinProcTimeGreedy{},
+		MinEnergy{},
+	}
+}
+
+// randomScanList is testkit.RandomList's local twin (same shape, private
+// stream) — heterogeneous nodes, a few disjoint slots per node, sorted.
+func randomScanList(rng *randx.Rand, nodeCount, maxSlotsPerNode int, horizon float64) slots.List {
+	var l slots.List
+	for id := 0; id < nodeCount; id++ {
+		n := &nodes.Node{
+			ID: id, Perf: float64(rng.IntRange(2, 10)), Price: 0.3 + 3*rng.Float64(),
+			RAMMB: 4096, DiskGB: 100, OS: nodes.Linux, Arch: nodes.AMD64,
+		}
+		cursor := 0.0
+		k := rng.Intn(maxSlotsPerNode + 1)
+		for s := 0; s < k && cursor < horizon-1; s++ {
+			start := cursor + rng.FloatRange(0, horizon/4)
+			end := start + rng.FloatRange(1, horizon/2)
+			if end > horizon {
+				end = horizon
+			}
+			if end-start >= 1 {
+				l = append(l, &slots.Slot{Node: n, Interval: slots.Interval{Start: start, End: end}})
+			}
+			cursor = end + 0.5
+		}
+	}
+	l.SortByStart()
+	return l
+}
+
+// sigWindow is testkit.WindowSignature's local twin: exact %x rendering of
+// every field, so equality is bit-identity.
+func sigWindow(w *Window) string {
+	if w == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "start=%x runtime=%x cost=%x proc=%x n=%d", w.Start, w.Runtime, w.Cost, w.ProcTime, len(w.Placements))
+	for _, p := range w.Placements {
+		fmt.Fprintf(&b, " [node=%d slot=%x..%x start=%x exec=%x cost=%x]",
+			p.Node().ID, p.Slot.Start, p.Slot.End, p.Start, p.Exec, p.Cost)
+	}
+	return b.String()
+}
+
+// poisonScanner scribbles adversarial garbage over every recycled buffer
+// and state field a scanner owns: NaN candidates in all index mirrors and
+// scratch, a stale visitor mid-search, poisoned result windows, a dirty
+// CSA working copy with a fully handed-out arena, and a mis-seeded RNG.
+func poisonScanner(sc *Scanner) {
+	nan := math.NaN()
+	pn := &nodes.Node{ID: -1, Perf: nan, Price: nan}
+	badSlot := func() *slots.Slot {
+		return &slots.Slot{Node: pn, Interval: slots.Interval{Start: nan, End: nan}}
+	}
+	bad := Candidate{Slot: badSlot(), Exec: nan, Cost: nan}
+	for i := 0; i < 8; i++ {
+		sc.win.cands = append(sc.win.cands, bad)
+		sc.win.byCost = append(sc.win.byCost, bad)
+		sc.win.byExec = append(sc.win.byExec, bad)
+		sc.win.prefix = append(sc.win.prefix, nan)
+		sc.win.scratch = append(sc.win.scratch, bad)
+		sc.sample = append(sc.sample, -7)
+		sc.chosen = append(sc.chosen, bad)
+		sc.work = append(sc.work, badSlot())
+		sc.arena = append(sc.arena, badSlot())
+	}
+	sc.win.trackExec = true
+	sc.win.mirror = true
+	sc.slotUsed = len(sc.arena)
+	poisonedWin := Window{Start: nan, Runtime: nan, Cost: nan, ProcTime: nan,
+		Placements: []Placement{{Slot: badSlot(), Start: nan, Exec: nan, Cost: nan}}}
+	sc.winA = poisonedWin
+	sc.winB = Window{Start: nan, Runtime: nan, Cost: nan, ProcTime: nan,
+		Placements: append([]Placement(nil), poisonedWin.Placements...)}
+	sc.vis.kind = vkMinEnergy
+	sc.vis.req = &job.Request{TaskCount: -3, Volume: nan}
+	sc.vis.exact, sc.vis.literalBudget, sc.vis.earlyStop = true, true, true
+	sc.vis.weight = func(Candidate) float64 { return nan }
+	sc.vis.best = &poisonedWin
+	sc.vis.spare = &poisonedWin
+	sc.vis.hasBest = true
+	sc.vis.bestVal = nan
+	if sc.rng == nil {
+		sc.rng = randx.New(0xdeadbeef)
+	} else {
+		sc.rng.Seed(0xdeadbeef)
+	}
+}
+
+func scanRequest(rng *randx.Rand) job.Request {
+	return job.Request{
+		TaskCount: rng.IntRange(1, 4),
+		Volume:    float64(rng.IntRange(40, 120)),
+		MaxCost:   float64(rng.IntRange(100, 900)),
+	}
+}
+
+// TestScannerDirtyReset proves that Reset fully neutralizes poisoned
+// state: a freshly constructed scanner and a poisoned-then-Reset scanner
+// (Reset is exactly what ReleaseScanner applies on the way into the pool)
+// return bit-identical windows for every algorithm over many instances.
+func TestScannerDirtyReset(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := randx.New(seed)
+		list := randomScanList(rng, 6, 4, 200)
+		req := scanRequest(rng)
+		for _, alg := range scannerCatalogue(seed) {
+			fresh := NewScanner()
+			r1 := req
+			wantW, wantErr := fresh.FindObserved(alg, list, &r1, nil)
+			want := sigWindow(wantW)
+
+			dirty := NewScanner()
+			poisonScanner(dirty)
+			dirty.Reset()
+			r2 := req
+			gotW, gotErr := dirty.FindObserved(alg, list, &r2, nil)
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed=%d alg=%s: errors diverged: fresh=%v dirty=%v", seed, alg.Name(), wantErr, gotErr)
+			}
+			if got := sigWindow(gotW); got != want {
+				t.Errorf("seed=%d alg=%s: dirty-reset scanner diverged\nfresh: %s\ndirty: %s", seed, alg.Name(), want, got)
+			}
+		}
+	}
+}
+
+// TestScannerPoisonedPool floods the package pool with poisoned released
+// scanners and asserts the public pooled Find path still returns the same
+// windows as fresh explicit scanners: whatever a previous pool user left
+// behind must not leak into the next search.
+func TestScannerPoisonedPool(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := randx.New(seed)
+		list := randomScanList(rng, 6, 4, 200)
+		req := scanRequest(rng)
+		for _, alg := range scannerCatalogue(seed) {
+			fresh := NewScanner()
+			r1 := req
+			wantW, wantErr := fresh.FindObserved(alg, list, &r1, nil)
+			want := sigWindow(wantW)
+
+			// Poison a batch of scanners and release them all, so the
+			// subsequent Find very likely draws a poisoned pool entry.
+			for i := 0; i < 4; i++ {
+				sc := AcquireScanner()
+				poisonScanner(sc)
+				ReleaseScanner(sc)
+			}
+			r2 := req
+			gotW, gotErr := alg.Find(list, &r2)
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed=%d alg=%s: errors diverged: fresh=%v pooled=%v", seed, alg.Name(), wantErr, gotErr)
+			}
+			if got := sigWindow(gotW); got != want {
+				t.Errorf("seed=%d alg=%s: poisoned pool leaked into result\nfresh:  %s\npooled: %s", seed, alg.Name(), want, got)
+			}
+		}
+	}
+}
+
+// TestScannerSequentialReuse runs one scanner across the whole catalogue
+// and many instances back to back — no Reset between searches — and
+// checks every result against a fresh scanner's: per-search
+// reinitialization inside FindObserved must not depend on which algorithm
+// (or which instance) ran before.
+func TestScannerSequentialReuse(t *testing.T) {
+	shared := NewScanner()
+	for seed := uint64(1); seed <= 40; seed++ {
+		rng := randx.New(seed)
+		list := randomScanList(rng, 6, 4, 200)
+		req := scanRequest(rng)
+		for _, alg := range scannerCatalogue(seed) {
+			fresh := NewScanner()
+			r1 := req
+			wantW, wantErr := fresh.FindObserved(alg, list, &r1, nil)
+			want := sigWindow(wantW)
+
+			r2 := req
+			gotW, gotErr := shared.FindObserved(alg, list, &r2, nil)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed=%d alg=%s: errors diverged: fresh=%v shared=%v", seed, alg.Name(), wantErr, gotErr)
+			}
+			// Signature must be taken before the next search recycles the
+			// shared scanner's result window.
+			if got := sigWindow(gotW); got != want {
+				t.Errorf("seed=%d alg=%s: reused scanner diverged\nfresh:  %s\nshared: %s", seed, alg.Name(), want, got)
+			}
+		}
+	}
+}
+
+// TestScannerResultDetach pins the ownership contract: a scanner-owned
+// result is invalidated by the next search, and Detach makes it safe to
+// keep. The detached copy must be deep enough to survive scanner reuse.
+func TestScannerResultDetach(t *testing.T) {
+	rng := randx.New(7)
+	list := randomScanList(rng, 6, 4, 200)
+	req := job.Request{TaskCount: 1, Volume: 60} // no budget: always feasible on a non-empty list
+	sc := NewScanner()
+	r1 := req
+	w, err := sc.FindObserved(MinCost{}, list, &r1, nil)
+	if err != nil {
+		t.Fatalf("MinCost find: %v", err)
+	}
+	kept := w.Detach()
+	want := sigWindow(kept)
+	for i := 0; i < 5; i++ {
+		r := req
+		r.TaskCount = 1 + i%3
+		_, _ = sc.FindObserved(MinFinish{}, list, &r, nil)
+	}
+	if got := sigWindow(kept); got != want {
+		t.Errorf("detached window mutated by scanner reuse\nbefore: %s\nafter:  %s", want, got)
+	}
+}

@@ -100,6 +100,49 @@ func NewWindow(start float64, chosen []Candidate) *Window {
 	return w
 }
 
+// buildWindow is NewWindow into an existing buffer: dst's placements slice
+// is truncated and refilled, aggregates recomputed with the identical
+// left-to-right accumulation, so the result is value-equal to
+// NewWindow(start, chosen) without allocating once dst's capacity suffices.
+func buildWindow(dst *Window, start float64, chosen []Candidate) {
+	dst.Start = start
+	dst.Placements = dst.Placements[:0]
+	dst.Runtime, dst.Cost, dst.ProcTime = 0, 0, 0
+	for _, c := range chosen {
+		p := Placement{Slot: c.Slot, Start: start, Exec: c.Exec, Cost: c.Cost}
+		dst.Placements = append(dst.Placements, p)
+		if c.Exec > dst.Runtime {
+			dst.Runtime = c.Exec
+		}
+		dst.Cost += c.Cost
+		dst.ProcTime += c.Exec
+	}
+}
+
+// Detach returns a self-owned copy of the window: fresh Window struct and
+// placements array, still referencing the same underlying slots. Use it to
+// keep a window obtained from scanner-recycled scratch (Scanner results,
+// retained visit output) beyond the producer's reuse horizon.
+func (w *Window) Detach() *Window {
+	nw := *w
+	nw.Placements = append([]Placement(nil), w.Placements...)
+	return &nw
+}
+
+// DetachDeep is Detach plus copies of the placed slot structs themselves,
+// for windows whose slots live in mutable working storage (the CSA cutting
+// working copy): the detached window stays valid even after the backing
+// slots are edited or recycled. Node pointers are shared — nodes are
+// immutable for the search's duration.
+func (w *Window) DetachDeep() *Window {
+	nw := w.Detach()
+	for i := range nw.Placements {
+		s := *nw.Placements[i].Slot
+		nw.Placements[i].Slot = &s
+	}
+	return nw
+}
+
 // Finish returns the window completion time: Start + Runtime.
 func (w *Window) Finish() float64 { return w.Start + w.Runtime }
 

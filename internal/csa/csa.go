@@ -49,26 +49,52 @@ func Search(list slots.List, req *job.Request, opts Options) ([]*core.Window, er
 // as one "csa" span carrying the alternative count. col == nil behaves
 // exactly like Search.
 func SearchObserved(list slots.List, req *job.Request, opts Options, col obs.Collector) ([]*core.Window, error) {
+	// Validate before borrowing any search state so rejecting an invalid
+	// request performs no allocation work at all.
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	sc := core.AcquireScanner()
+	defer core.ReleaseScanner(sc)
+	return searchScanner(sc, list, req, opts, col)
+}
+
+// SearchScanner is SearchObserved on a caller-provided Scanner: the search
+// runs entirely on sc's recycled working copy, so a long-lived caller (a
+// parallel speculation worker, the inventory's ReserveBest) amortizes the
+// per-search slot-list clone away. The returned alternatives are detached
+// copies — caller-owned, unaffected by sc's reuse.
+func SearchScanner(sc *core.Scanner, list slots.List, req *job.Request, opts Options, col obs.Collector) ([]*core.Window, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return searchScanner(sc, list, req, opts, col)
+}
+
+// searchScanner is the CSA loop on scanner-owned state: instead of cloning
+// the slot list per search and rebuilding it per cut, the scanner holds
+// one mutable working copy (BeginWork) and each found window's spans are
+// cut out of it in place (CutWindow). Each alternative is deep-detached
+// BEFORE cutting, because the scanner-owned result window aliases the very
+// working slots the cut mutates.
+func searchScanner(sc *core.Scanner, list slots.List, req *job.Request, opts Options, col obs.Collector) ([]*core.Window, error) {
 	var begin time.Duration
 	if col != nil {
 		begin = obs.Now()
 	}
-	work := list.Clone()
+	sc.BeginWork(list)
 	amp := core.AMP{}
 	var alts []*core.Window
 	for opts.MaxAlternatives <= 0 || len(alts) < opts.MaxAlternatives {
-		w, err := amp.FindObserved(work, req, col)
+		w, err := sc.FindObserved(amp, sc.Work(), req, col)
 		if errors.Is(err, core.ErrNoWindow) {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		alts = append(alts, w)
-		work = slots.Cut(work, w.UsedIntervals(), opts.MinSlotLength)
+		alts = append(alts, w.DetachDeep())
+		sc.CutWindow(w, opts.MinSlotLength)
 	}
 	if col != nil {
 		col.Span(obs.Span{

@@ -220,38 +220,67 @@ func (inv *Inventory) Snapshot() *Snapshot {
 	return inv.snap.Load()
 }
 
+// reserveRetries bounds the optimistic re-validation loop of one Reserve:
+// a search that loses the race to concurrent allocations is retried
+// against a fresh snapshot (on the same recycled scanner) this many times
+// before ErrConflict is surfaced to the caller.
+const reserveRetries = 3
+
 // Reserve searches the current snapshot with the given algorithm and places
 // a hold on the winning window. ttl<=0 means Options.DefaultTTL. Returns
 // core.ErrNoWindow when no feasible window exists on the snapshot and
-// ErrConflict when the found window lost a race to concurrent allocations.
+// ErrConflict when the found window lost a race to concurrent allocations
+// on every retry. One scanner backs all retries of one call, so the
+// re-validation loop allocates only for the detached result window.
 func (inv *Inventory) Reserve(req *job.Request, alg core.Algorithm, ttl time.Duration) (*Reservation, error) {
-	snap := inv.Snapshot()
-	w, err := core.FindObserved(alg, snap.Slots, req, inv.opts.Collector)
-	if err != nil {
-		if errors.Is(err, core.ErrNoWindow) {
-			inv.countNoWindow()
+	sc := core.AcquireScanner()
+	defer core.ReleaseScanner(sc)
+	for attempt := 0; ; attempt++ {
+		snap := inv.Snapshot()
+		w, err := core.FindObservedScanner(sc, alg, snap.Slots, req, inv.opts.Collector)
+		if err != nil {
+			if errors.Is(err, core.ErrNoWindow) {
+				inv.countNoWindow()
+			}
+			return nil, err
 		}
-		return nil, err
+		// Detach: ReserveWindow retains the window in the hold table and the
+		// journal, beyond the scanner's reuse horizon. The placements keep
+		// referencing the snapshot's slots, exactly as before.
+		res, err := inv.ReserveWindow(w.Detach(), ttl)
+		if errors.Is(err, ErrConflict) && attempt+1 < reserveRetries {
+			continue // stale snapshot lost the race; search the fresh one
+		}
+		return res, err
 	}
-	return inv.ReserveWindow(w, ttl)
 }
 
 // ReserveBest runs a CSA alternative search against the current snapshot,
 // picks the alternative extreme by crit and places a hold on it. maxAlts
-// bounds the search (0 = until exhaustion).
+// bounds the search (0 = until exhaustion). Conflicts retry like Reserve,
+// on one shared scanner.
 func (inv *Inventory) ReserveBest(req *job.Request, crit csa.Criterion, maxAlts int, ttl time.Duration) (*Reservation, error) {
-	snap := inv.Snapshot()
-	alts, err := csa.SearchObserved(snap.Slots, req, csa.Options{
-		MaxAlternatives: maxAlts,
-		MinSlotLength:   inv.opts.MinSlotLength,
-	}, inv.opts.Collector)
-	if err != nil {
-		if errors.Is(err, core.ErrNoWindow) {
-			inv.countNoWindow()
+	sc := core.AcquireScanner()
+	defer core.ReleaseScanner(sc)
+	for attempt := 0; ; attempt++ {
+		snap := inv.Snapshot()
+		alts, err := csa.SearchScanner(sc, snap.Slots, req, csa.Options{
+			MaxAlternatives: maxAlts,
+			MinSlotLength:   inv.opts.MinSlotLength,
+		}, inv.opts.Collector)
+		if err != nil {
+			if errors.Is(err, core.ErrNoWindow) {
+				inv.countNoWindow()
+			}
+			return nil, err
 		}
-		return nil, err
+		// CSA alternatives are already detached (caller-owned) copies.
+		res, err := inv.ReserveWindow(csa.Best(alts, crit), ttl)
+		if errors.Is(err, ErrConflict) && attempt+1 < reserveRetries {
+			continue
+		}
+		return res, err
 	}
-	return inv.ReserveWindow(csa.Best(alts, crit), ttl)
 }
 
 // ReserveWindow places a hold on an externally found window after

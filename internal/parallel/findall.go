@@ -44,10 +44,25 @@ func FindAll(list slots.List, req *job.Request, algs []core.Algorithm, workers i
 // enforce this). col == nil behaves exactly like FindAll.
 func FindAllObserved(list slots.List, req *job.Request, algs []core.Algorithm, workers int, col obs.Collector) []Result {
 	out := make([]Result, len(algs))
-	ForEach(len(algs), workers, func(i int) {
+	workers = Workers(workers)
+	if workers > len(algs) {
+		workers = len(algs)
+	}
+	// One scanner per worker, never shared across goroutines: each worker
+	// amortizes its searches onto its own recycled state, and the
+	// index-to-worker assignment is ForEach's round-robin stride, so the
+	// merged slice is position-identical to the sequential loop.
+	ForEachWorker(workers, func(wk int) {
+		sc := core.AcquireScanner()
+		defer core.ReleaseScanner(sc)
 		r := *req // private copy: keep concurrent searches free of shared request state
-		w, err := core.FindObserved(algs[i], list, &r, col)
-		out[i] = Result{Algorithm: algs[i], Window: w, Err: err}
+		for i := wk; i < len(algs); i += workers {
+			w, err := core.FindObservedScanner(sc, algs[i], list, &r, col)
+			if w != nil {
+				w = w.Detach() // scanner-owned result; out lives past the scanner
+			}
+			out[i] = Result{Algorithm: algs[i], Window: w, Err: err}
+		}
 	})
 	return out
 }

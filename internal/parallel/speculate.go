@@ -77,8 +77,12 @@ func alternativesSeq(list slots.List, ordered []*job.Job, opts csa.Options, col 
 	var st obs.BatchStats
 	work := list.Clone()
 	out := make([][]*core.Window, len(ordered))
+	// One scanner for the whole sequential pass: every per-job CSA search
+	// reuses the same recycled working copy.
+	sc := core.AcquireScanner()
+	defer core.ReleaseScanner(sc)
 	for i, j := range ordered {
-		alts, err := csa.SearchObserved(work, &j.Request, opts, col)
+		alts, err := csa.SearchScanner(sc, work, &j.Request, opts, col)
 		if err != nil && !errors.Is(err, core.ErrNoWindow) {
 			return nil, &JobError{Job: j, Err: err}
 		}
@@ -186,8 +190,13 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 	}
 
 	q := newSpecQueue(k)
-	search := func(snapshot slots.List, j int) ([]*core.Window, error) {
-		alts, err := csa.SearchObserved(snapshot, &ordered[j].Request, opts, col)
+	// Searches run on a caller-provided scanner so each worker goroutine
+	// (and the master's inline path) reuses its own recycled state; scanners
+	// are never shared across goroutines. CSA copies the snapshot's slot
+	// values into the scanner before cutting, so the shared immutable
+	// snapshots are never mutated.
+	search := func(sc *core.Scanner, snapshot slots.List, j int) ([]*core.Window, error) {
+		alts, err := csa.SearchScanner(sc, snapshot, &ordered[j].Request, opts, col)
 		if errors.Is(err, core.ErrNoWindow) {
 			return nil, nil // no window is a valid empty alternative set
 		}
@@ -205,6 +214,8 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
+			sc := core.AcquireScanner()
+			defer core.ReleaseScanner(sc)
 			for {
 				tk, ok := q.pop()
 				if !ok {
@@ -214,7 +225,7 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 				if col != nil {
 					t0 = obs.Now()
 				}
-				alts, err := search(tk.snapshot, tk.jobIdx)
+				alts, err := search(sc, tk.snapshot, tk.jobIdx)
 				runs[wk]++
 				if col != nil {
 					d := obs.Now() - t0
@@ -259,7 +270,9 @@ func alternativesSpec(list slots.List, ordered []*job.Job, opts csa.Options, wor
 			// Authoritative inline recomputation on the current list. The
 			// relaunch rule makes this unreachable, but correctness must
 			// not depend on that optimization.
-			alts, err := search(work, j)
+			msc := core.AcquireScanner()
+			alts, err := search(msc, work, j)
+			core.ReleaseScanner(msc)
 			st.InlineRecomputes++
 			res = specResult{gen: len(cutNodes), alts: alts, err: err}
 		}

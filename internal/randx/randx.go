@@ -241,3 +241,27 @@ func (r *Rand) Sample(n, k int) []int {
 	}
 	return idx[:k]
 }
+
+// SampleInto is Sample drawing into the caller's buffer: dst is grown (or
+// reused) to hold the n-element index table and the first k entries are
+// returned. The generator consumption — and therefore the sampled stream —
+// is identical to Sample's for equal (n, k), which is what lets recycled
+// search state replay the exact windows a fresh search would pick. It
+// panics if k > n or k < 0.
+func (r *Rand) SampleInto(dst []int, n, k int) []int {
+	if k < 0 || k > n {
+		panic("randx: Sample called with k out of range")
+	}
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	idx := dst[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

@@ -325,6 +325,54 @@ func TestSampleDistinct(t *testing.T) {
 	}
 }
 
+// TestSampleIntoMatchesSample pins the stream-equality contract SampleInto
+// documents: for equal seeds and equal (n, k) the buffered variant must
+// return the exact indices Sample does — whether the destination is nil,
+// undersized, oversized, or dirty from a previous draw. Recycled search
+// state relies on this to replay the windows a fresh search would pick.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	shapes := []struct{ n, k int }{
+		{1, 0}, {1, 1}, {5, 3}, {8, 8}, {40, 1}, {40, 17}, {200, 64},
+	}
+	equal := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		var dirty []int
+		for _, sh := range shapes {
+			want := New(seed).Sample(sh.n, sh.k)
+
+			if got := New(seed).SampleInto(nil, sh.n, sh.k); !equal(got, want) {
+				t.Errorf("seed=%d n=%d k=%d: nil dst diverged: got %v, want %v", seed, sh.n, sh.k, got, want)
+			}
+			small := make([]int, 0, sh.n/2)
+			if got := New(seed).SampleInto(small, sh.n, sh.k); !equal(got, want) {
+				t.Errorf("seed=%d n=%d k=%d: undersized dst diverged: got %v, want %v", seed, sh.n, sh.k, got, want)
+			}
+			big := make([]int, 0, sh.n*2+4)
+			for i := 0; i < cap(big); i++ {
+				big = append(big, -99)
+			}
+			if got := New(seed).SampleInto(big[:0], sh.n, sh.k); !equal(got, want) {
+				t.Errorf("seed=%d n=%d k=%d: oversized dirty dst diverged: got %v, want %v", seed, sh.n, sh.k, got, want)
+			}
+			// Reuse one buffer across the whole shape table, as the scanner does.
+			dirty = New(seed).SampleInto(dirty[:0], sh.n, sh.k)
+			if !equal(dirty, want) {
+				t.Errorf("seed=%d n=%d k=%d: recycled dst diverged: got %v, want %v", seed, sh.n, sh.k, dirty, want)
+			}
+		}
+	}
+}
+
 func TestSamplePanicsOnBadK(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -102,6 +103,10 @@ func New(inv *inventory.Inventory, opts Options) *Server {
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, opts.MaxInflight),
 	}
+	// Pre-populate the scanner pool to the admission bound: the first
+	// MaxInflight concurrent searches skip scanner construction. Best
+	// effort — sync.Pool may shed entries under GC pressure.
+	core.WarmScanners(opts.MaxInflight)
 	s.mux.HandleFunc("/v1/find", s.post(s.handleFind))
 	s.mux.HandleFunc("/v1/reserve", s.post(s.handleReserve))
 	s.mux.HandleFunc("/v1/commit", s.post(s.handleCommit))
@@ -464,6 +469,12 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.inv.Sweep()
+	// go_memstats-style runtime figures, so the service's steady-state
+	// allocation discipline (the scanner pool's whole point) is observable
+	// in production, not just in the regression suite. ReadMemStats
+	// stops the world briefly; statusz is low-frequency monitoring traffic.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"inventory": s.inv.Status(),
 		"server": map[string]any{
@@ -472,6 +483,12 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"deadline_expired": s.deadlineExpired.Load(),
 			"inflight":         len(s.inflight),
 			"queued":           s.queued.Load(),
+		},
+		"runtime": map[string]any{
+			"heap_alloc_bytes":  ms.HeapAlloc,
+			"heap_inuse_bytes":  ms.HeapInuse,
+			"gc_cycles":         ms.NumGC,
+			"gc_pause_total_ns": ms.PauseTotalNs,
 		},
 	})
 }

@@ -618,6 +618,47 @@ func postRawGet(t *testing.T, url string) (int, map[string]json.RawMessage) {
 	return resp.StatusCode, out
 }
 
+// TestStatuszRuntimeFields table-tests the go_memstats-style runtime
+// section of /v1/statusz: every documented field must be present, and the
+// live-heap gauges must be plausible (non-zero) on a running process.
+func TestStatuszRuntimeFields(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{})
+	code, out := postRawGet(t, ts.URL+"/v1/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: status %d", code)
+	}
+	var rt map[string]json.RawMessage
+	if err := json.Unmarshal(out["runtime"], &rt); err != nil {
+		t.Fatalf("statusz runtime section: %v (raw %s)", err, out["runtime"])
+	}
+	cases := []struct {
+		field       string
+		wantNonZero bool
+	}{
+		// Heap gauges cannot be zero on a live Go process.
+		{"heap_alloc_bytes", true},
+		{"heap_inuse_bytes", true},
+		// GC may genuinely not have run yet in a short-lived test process.
+		{"gc_cycles", false},
+		{"gc_pause_total_ns", false},
+	}
+	for _, tc := range cases {
+		raw, ok := rt[tc.field]
+		if !ok {
+			t.Errorf("statusz runtime section is missing %q", tc.field)
+			continue
+		}
+		var v uint64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Errorf("runtime.%s: not an unsigned integer: %v (raw %s)", tc.field, err, raw)
+			continue
+		}
+		if tc.wantNonZero && v == 0 {
+			t.Errorf("runtime.%s = 0, want non-zero on a live process", tc.field)
+		}
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,0 +1,9 @@
+//go:build race
+
+package testkit
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-budget regression tests skip under it: race instrumentation
+// adds its own allocations, so testing.AllocsPerRun counts are meaningless
+// there (the alloc gate in CI runs the suite without -race).
+const RaceEnabled = true
