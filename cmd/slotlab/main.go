@@ -1,0 +1,37 @@
+// Command slotlab is the scenario-driven conformance and soak harness for
+// the slot-inventory service. Each scenario boots a live slotserve stack,
+// drives it over HTTP with one production-shaped workload — flash crowd,
+// hot-spot contention, node churn, deadline-constrained task farms,
+// starved budgets, diurnal load — and holds the end state to the
+// invariants that make the service trustworthy: zero double-booking,
+// journal-replay determinism, clean admission control under overload and
+// per-scenario latency/throughput SLOs.
+//
+// Usage:
+//
+//	slotlab [-scenarios NAMES|all] [-duration D] [-seed N]
+//	        [-o FILE] [-soak] [-list] [-q]
+//
+// A short smoke pass over every scenario:
+//
+//	slotlab -scenarios all -duration 2s -seed 1
+//
+// A single-scenario soak (the nightly tier):
+//
+//	slotlab -scenarios churn -duration 10m -soak -o results/churn_soak.json
+//
+// The report is schema-versioned JSON (results/slotlab_<seed>.json by
+// default) with per-scenario pass/fail, invariant and SLO verdicts,
+// latency histograms and /v1/statusz counter deltas. Exit status is 0 only
+// if every scenario passes every check.
+package main
+
+import (
+	"os"
+
+	"slotsel/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Slotlab(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"slotsel/internal/slotlab"
+)
+
+// Slotlab runs the scenario-driven conformance and soak harness (see
+// cmd/slotlab).
+func Slotlab(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slotlab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenarios = fs.String("scenarios", "all", "comma-separated scenario `names`, or \"all\"")
+		duration  = fs.Duration("duration", 10*time.Second, "traffic window per scenario")
+		seed      = fs.Uint64("seed", 1, "run `seed` (fixes workloads, environments and sampling)")
+		out       = fs.String("o", "", "report `file` (default results/slotlab_<seed>.json)")
+		soak      = fs.Bool("soak", false, "mark this run as the long-run soak tier in the report")
+		list      = fs.Bool("list", false, "list scenarios and exit")
+		quiet     = fs.Bool("q", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, sc := range slotlab.Scenarios() {
+			fmt.Fprintf(stdout, "%-16s %s\n", sc.Name, sc.Description)
+		}
+		return 0
+	}
+
+	selected, err := slotlab.Resolve(*scenarios)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotlab:", err)
+		return 2
+	}
+
+	cfg := slotlab.Config{Seed: *seed, Duration: *duration, Soak: *soak}
+	if !*quiet {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+
+	rep, err := slotlab.Run(cfg, selected)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotlab:", err)
+		return 1
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("results/slotlab_%d.json", *seed)
+	}
+	if err := rep.Write(path); err != nil {
+		fmt.Fprintln(stderr, "slotlab:", err)
+		return 1
+	}
+
+	fmt.Fprint(stdout, rep.Summary())
+	fmt.Fprintf(stdout, "report: %s\n", path)
+	if !rep.Pass {
+		fmt.Fprintf(stderr, "slotlab: FAIL (%s)\n", strings.Join(rep.FailedChecks(), ", "))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlotlabList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Slotlab([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("slotlab -list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"flash-crowd", "hot-spot", "churn", "deadline-farm", "budget-starved", "diurnal"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing scenario %q", name)
+		}
+	}
+}
+
+func TestSlotlabUnknownScenario(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Slotlab([]string{"-scenarios", "no-such"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scenario exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown scenario") {
+		t.Errorf("stderr = %q, want unknown-scenario error", errb.String())
+	}
+}
+
+// TestSlotlabRun drives one fast scenario end to end through the CLI and
+// checks the exit status, summary output and written report.
+func TestSlotlabRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := Slotlab([]string{
+		"-scenarios", "budget-starved",
+		"-duration", "300ms",
+		"-seed", "7",
+		"-o", path,
+		"-q",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("slotlab exited %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "budget-starved") || !strings.Contains(out.String(), "PASS") {
+		t.Errorf("summary missing scenario verdict: %q", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Schema        string `json:"schema"`
+		SchemaVersion int    `json:"schema_version"`
+		Seed          uint64 `json:"seed"`
+		Pass          bool   `json:"pass"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "slotlab-report" || rep.SchemaVersion < 1 {
+		t.Errorf("report schema = %q v%d", rep.Schema, rep.SchemaVersion)
+	}
+	if rep.Seed != 7 || !rep.Pass {
+		t.Errorf("report seed=%d pass=%v, want seed=7 pass=true", rep.Seed, rep.Pass)
+	}
+}

@@ -1,13 +1,18 @@
 package cli
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func runSlotserve(t *testing.T, args ...string) (int, string, string) {
@@ -123,6 +128,95 @@ func TestSlotservePipeline(t *testing.T) {
 				t.Errorf("stderr missing lifecycle lines: %q", r.stderr)
 			}
 		})
+	}
+}
+
+// TestSlotserveDrainMidCycle: a shutdown signal arriving while a reserve is
+// mid-flight must let the request complete — the client gets its 200 and
+// reservation ID, and the process still exits 0 with a clean drain.
+//
+// The in-flight state is constructed deterministically over raw TCP: the
+// request headers and half the declared body are sent, which makes the
+// connection active (the handler blocks reading the rest of the body), then
+// the shutdown path fires, then the body is completed. http.Server.Shutdown
+// must wait out the active request rather than killing it.
+func TestSlotserveDrainMidCycle(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "env.json")
+	if code, _, stderr := runSlotgen(t, "-nodes", "10", "-seed", "7", "-o", file); code != 0 {
+		t.Fatalf("slotgen: exit %d, stderr %q", code, stderr)
+	}
+
+	addrc := make(chan string, 1)
+	var shutdown func()
+	slotserveTestHook = func(addr string, stop func()) {
+		shutdown = stop
+		addrc <- addr
+	}
+	t.Cleanup(func() { slotserveTestHook = nil })
+
+	done := make(chan struct {
+		code   int
+		stderr string
+	}, 1)
+	go func() {
+		var out, errBuf bytes.Buffer
+		code := Slotserve([]string{"-addr", "localhost:0", "-slots", file}, &out, &errBuf)
+		done <- struct {
+			code   int
+			stderr string
+		}{code, errBuf.String()}
+	}()
+	addr := <-addrc
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	body := `{"request":{"tasks":2,"volume":20,"max_cost":100000}}`
+	head := fmt.Sprintf("POST /v1/reserve HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+		addr, len(body))
+	half := len(body) / 2
+	if _, err := io.WriteString(conn, head+body[:half]); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server time to read the headers and block in the body read:
+	// the request is now provably in-flight.
+	time.Sleep(50 * time.Millisecond)
+
+	// SIGTERM path fires mid-cycle.
+	shutdown()
+	time.Sleep(50 * time.Millisecond)
+
+	// Complete the body; the drained server must still answer in full.
+	if _, err := io.WriteString(conn, body[half:]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("reading mid-drain response: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mid-drain reserve: status %d, want 200", resp.StatusCode)
+	}
+	var res struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID == "" {
+		t.Fatal("mid-drain reserve completed without a reservation ID")
+	}
+
+	r := <-done
+	if r.code != 0 {
+		t.Fatalf("slotserve exit %d, stderr %q", r.code, r.stderr)
+	}
+	if !strings.Contains(r.stderr, "drained") {
+		t.Errorf("stderr missing drain line: %q", r.stderr)
 	}
 }
 

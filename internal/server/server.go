@@ -18,7 +18,12 @@
 // requests execute concurrently and at most QueueDepth more wait for a
 // slot; anything beyond that is shed immediately with 429 and a
 // Retry-After header, so overload degrades by load shedding rather than by
-// unbounded goroutine/queue growth. Admitted requests run under a
+// unbounded goroutine/queue growth. The Retry-After value is not a
+// constant: it is the estimated time for the current queue to drain at the
+// observed service rate (MaxInflight executors x mean handler time),
+// clamped to [1, 30] seconds — a client that obeys it comes back when
+// capacity is plausibly free instead of hammering a deep queue every
+// second. Admitted requests run under a
 // per-request deadline (RequestTimeout); a request whose deadline expires
 // while it waits in the queue is answered 503 and counted separately
 // (deadline_expired in /v1/statusz) — the client did nothing wrong and the
@@ -75,6 +80,13 @@ type Server struct {
 	requests atomic.Uint64
 	shed     atomic.Uint64
 
+	// completed counts admitted requests whose handler finished, and
+	// busyNanos accumulates their total handler wall time; together they
+	// give the observed mean service time the Retry-After estimate and the
+	// statusz drain-rate figures derive from.
+	completed atomic.Uint64
+	busyNanos atomic.Uint64
+
 	// deadlineExpired counts requests whose deadline passed while they
 	// waited in the admission queue — answered 503, distinct from shed
 	// (queue full, answered 429).
@@ -125,7 +137,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch s.admit(ctx) {
 	case admitShed:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
 		return
 	case admitExpired:
@@ -144,12 +156,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded in queue")
 		return
 	}
-	var begin time.Duration
-	if s.opts.Collector != nil {
-		begin = obs.Now()
-	}
+	begin := obs.Now()
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	s.busyNanos.Add(uint64(obs.Now() - begin))
+	s.completed.Add(1)
 	if col := s.opts.Collector; col != nil {
 		col.Span(obs.Span{
 			Name:  "http " + r.URL.Path,
@@ -197,6 +208,55 @@ func (s *Server) admit(ctx context.Context) admitResult {
 	case <-ctx.Done():
 		return admitExpired
 	}
+}
+
+// retryAfter computes the Retry-After hint for a shed request from the
+// current queue depth and the observed mean service time.
+func (s *Server) retryAfter() int {
+	return retryAfterSeconds(s.queued.Load(), s.opts.MaxInflight, s.avgService())
+}
+
+// avgService is the observed mean handler wall time; zero until the first
+// request completes.
+func (s *Server) avgService() time.Duration {
+	n := s.completed.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.busyNanos.Load() / n)
+}
+
+// Retry-After clamps: never tell a client to come back sooner than 1s
+// (sub-second retry storms defeat the point of shedding) or later than 30s
+// (the estimate is too noisy to justify parking clients for minutes).
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 30
+)
+
+// retryAfterSeconds estimates how long a shed client should wait: the time
+// for the current queue (plus this request) to drain at the observed
+// service rate of maxInflight concurrent executors, rounded up to whole
+// seconds and clamped to [1, 30]. With no service-time observations yet
+// (avgService == 0) the estimate is the 1-second floor — the old
+// hard-coded behavior, now the cold-start special case.
+func retryAfterSeconds(queued int64, maxInflight int, avgService time.Duration) int {
+	if avgService <= 0 || maxInflight <= 0 {
+		return minRetryAfterSeconds
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	// Drain time = (waiters ahead + this request) x avgService / executors.
+	drain := time.Duration(queued+1) * avgService / time.Duration(maxInflight)
+	secs := int((drain + time.Second - 1) / time.Second)
+	if secs < minRetryAfterSeconds {
+		return minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
 }
 
 // statusWriter records the response code for the request span.
@@ -475,14 +535,23 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	// stops the world briefly; statusz is low-frequency monitoring traffic.
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	// One Status() call backs both the inventory section and the top-level
+	// snapshot_version, so a monitor diffing two statusz reads can
+	// correlate every counter delta with the exact inventory-version range
+	// [before.snapshot_version, after.snapshot_version] it happened in.
+	st := s.inv.Status()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"inventory": s.inv.Status(),
+		"snapshot_version": st.Version,
+		"inventory":        st,
 		"server": map[string]any{
 			"requests":         s.requests.Load(),
+			"completed":        s.completed.Load(),
 			"shed":             s.shed.Load(),
 			"deadline_expired": s.deadlineExpired.Load(),
 			"inflight":         len(s.inflight),
 			"queued":           s.queued.Load(),
+			"avg_service_ns":   s.avgService().Nanoseconds(),
+			"retry_after_hint": s.retryAfter(),
 		},
 		"runtime": map[string]any{
 			"heap_alloc_bytes":  ms.HeapAlloc,

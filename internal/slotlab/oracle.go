@@ -1,0 +1,188 @@
+package slotlab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slotsel/internal/core"
+	"slotsel/internal/inventory"
+	"slotsel/internal/slots"
+)
+
+// CheckResult is one invariant or SLO verdict in the report.
+type CheckResult struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func pass(name, detail string) CheckResult {
+	return CheckResult{Name: name, Pass: true, Detail: detail}
+}
+func fail(name, detail string) CheckResult {
+	return CheckResult{Name: name, Pass: false, Detail: detail}
+}
+
+// checkNoDoubleBooking verifies the fundamental scheduler invariant over
+// the scenario's end state: across ALL committed reservations, no node has
+// two allocated spans overlapping with positive length (half-open
+// intervals: touching spans are legal, the same convention the inventory's
+// conflict detection uses).
+func checkNoDoubleBooking(committed map[string]*core.Window) CheckResult {
+	const name = "zero_double_booking"
+	type span struct {
+		iv slots.Interval
+		id string
+	}
+	perNode := make(map[int][]span)
+	for id, w := range committed {
+		for nid, ivs := range w.UsedIntervals() {
+			for _, iv := range ivs {
+				perNode[nid] = append(perNode[nid], span{iv, id})
+			}
+		}
+	}
+	for nid, spans := range perNode {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].iv.Start < spans[j].iv.Start })
+		for i := 1; i < len(spans); i++ {
+			prev, cur := spans[i-1], spans[i]
+			if prev.iv.End > cur.iv.Start {
+				return fail(name, fmt.Sprintf(
+					"node %d: %s [%g,%g) overlaps %s [%g,%g)",
+					nid, prev.id, prev.iv.Start, prev.iv.End, cur.id, cur.iv.Start, cur.iv.End))
+			}
+		}
+	}
+	return pass(name, fmt.Sprintf("%d committed reservations, all spans disjoint", len(committed)))
+}
+
+// checkReplay is the oracle cross-check: the live run's journal, replayed
+// sequentially against a fresh inventory, must reproduce the live end
+// state — free list, committed set, live holds and lifecycle counters.
+// Any divergence means concurrent outcomes leaked timing or interleaving
+// into state, which would also invalidate every other end-state check.
+func checkReplay(inv *inventory.Inventory, minSlotLength float64) CheckResult {
+	const name = "journal_replay_determinism"
+	events := inv.Journal()
+	re, err := inventory.Replay(events, inventory.Options{MinSlotLength: minSlotLength})
+	if err != nil {
+		return fail(name, fmt.Sprintf("replay failed: %v", err))
+	}
+	if got, want := freeSignature(re.Snapshot().Slots), freeSignature(inv.Snapshot().Slots); got != want {
+		return fail(name, "free slot lists diverge between live run and sequential replay")
+	}
+	if got, want := committedSignature(re.Committed()), committedSignature(inv.Committed()); got != want {
+		return fail(name, "committed sets diverge between live run and sequential replay")
+	}
+	if got, want := re.Holds(), inv.Holds(); strings.Join(got, ",") != strings.Join(want, ",") {
+		return fail(name, fmt.Sprintf("live holds diverge: replay %v, live %v", got, want))
+	}
+	lc, rc := inv.Status().Counters, re.Status().Counters
+	rc.NoWindow = lc.NoWindow // failed searches are not journaled
+	if lc != rc {
+		return fail(name, fmt.Sprintf("counters diverge: replay %+v, live %+v", rc, lc))
+	}
+	return pass(name, fmt.Sprintf("%d journaled ops replayed to an identical end state", len(events)))
+}
+
+// checkAdmission verifies the overload contract the client observed: every
+// 429 carried a Retry-After parsing as an integer in [1, 30].
+func checkAdmission(rec *Recorder) CheckResult {
+	const name = "admission_retry_after"
+	rec.mu.Lock()
+	bad := rec.badRetry
+	rec.mu.Unlock()
+	_, shed := rec.Totals(429)
+	if bad > 0 {
+		return fail(name, fmt.Sprintf("%d of %d shed responses had a missing or invalid Retry-After", bad, shed))
+	}
+	return pass(name, fmt.Sprintf("%d shed responses, all with valid Retry-After", shed))
+}
+
+// checkConformance verifies that the server only ever answered with
+// statuses the API defines for each path and never dropped a connection.
+func checkConformance(rec *Recorder) CheckResult {
+	const name = "protocol_conformance"
+	rec.mu.Lock()
+	unexpected := rec.unexpected
+	rec.mu.Unlock()
+	if transport := rec.TransportErrors(); transport > 0 {
+		return fail(name, fmt.Sprintf("%d transport errors (timeouts or dropped connections)", transport))
+	}
+	if unexpected > 0 {
+		return fail(name, fmt.Sprintf("%d responses with undefined status codes", unexpected))
+	}
+	total, _ := rec.Totals()
+	return pass(name, fmt.Sprintf("%d responses, all with defined statuses", total))
+}
+
+// checkDeadlines verifies the Buyya-farm contract: every granted window on
+// a deadline-carrying request finished within its deadline. Trivially
+// passes for scenarios without deadlines.
+func checkDeadlines(rec *Recorder) CheckResult {
+	const name = "windows_meet_deadlines"
+	rec.mu.Lock()
+	n := rec.deadlines
+	rec.mu.Unlock()
+	if n > 0 {
+		return fail(name, fmt.Sprintf("%d granted windows finish past their request deadline", n))
+	}
+	return pass(name, "no granted window exceeds its request deadline")
+}
+
+// checkGoroutineBound verifies that overload sheds instead of spawning:
+// the peak goroutine count during traffic stays within the structural
+// budget of baseline + worker/connection goroutines + the admission bound.
+func checkGoroutineBound(baseline, peak, workers, maxInflight, queueDepth int) CheckResult {
+	const name = "bounded_goroutines"
+	// Each worker owns up to 4 goroutines' worth of machinery (the worker
+	// itself, the transport's read/write loops, the server's per-conn
+	// goroutine); admitted + queued requests ride those same connections.
+	bound := baseline + 4*workers + maxInflight + queueDepth + 48
+	detail := fmt.Sprintf("peak %d goroutines (baseline %d, bound %d)", peak, baseline, bound)
+	if peak > bound {
+		return fail(name, detail)
+	}
+	return pass(name, detail)
+}
+
+// ---- end-state signatures (value-exact renderings, %x is lossless) ----
+
+func freeSignature(l slots.List) string {
+	var b strings.Builder
+	for _, s := range l {
+		fmt.Fprintf(&b, "[n%d %x..%x]", s.Node.ID, s.Start, s.End)
+	}
+	return b.String()
+}
+
+func windowSignature(w *core.Window) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%x r%x c%x", w.Start, w.Runtime, w.Cost)
+	used := w.UsedIntervals()
+	nids := make([]int, 0, len(used))
+	for nid := range used {
+		nids = append(nids, nid)
+	}
+	sort.Ints(nids)
+	for _, nid := range nids {
+		for _, iv := range used[nid] {
+			fmt.Fprintf(&b, " n%d:%x..%x", nid, iv.Start, iv.End)
+		}
+	}
+	return b.String()
+}
+
+func committedSignature(m map[string]*core.Window) string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s{%s}", id, windowSignature(m[id]))
+	}
+	return b.String()
+}

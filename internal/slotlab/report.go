@@ -1,0 +1,200 @@
+package slotlab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Report schema identifiers. Bump SchemaVersion on any breaking change to
+// the JSON shape — reports are meant to be diffed across PRs, so consumers
+// must be able to tell shapes apart.
+const (
+	ReportSchema  = "slotlab-report"
+	SchemaVersion = 1
+)
+
+// Report is the machine-readable outcome of one slotlab run: one entry per
+// scenario, each with invariant verdicts, SLO verdicts, per-operation
+// latency statistics and the statusz counter deltas over the traffic
+// window.
+type Report struct {
+	Schema        string           `json:"schema"`
+	SchemaVersion int              `json:"schema_version"`
+	GeneratedAt   string           `json:"generated_at"`
+	Seed          uint64           `json:"seed"`
+	Duration      string           `json:"duration"`
+	Soak          bool             `json:"soak"`
+	Pass          bool             `json:"pass"`
+	Scenarios     []ScenarioReport `json:"scenarios"`
+}
+
+// ScenarioReport is one scenario's outcome.
+type ScenarioReport struct {
+	Name           string             `json:"name"`
+	Description    string             `json:"description"`
+	Pass           bool               `json:"pass"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Invariants     []CheckResult      `json:"invariants"`
+	SLOs           []CheckResult      `json:"slos"`
+	Ops            map[string]OpStats `json:"ops"`
+	Statusz        StatuszDelta       `json:"statusz"`
+}
+
+// OpStats summarizes one operation kind's latency and status distribution.
+type OpStats struct {
+	Count    int            `json:"count"`
+	ByStatus map[string]int `json:"by_status"`
+	P50Ms    float64        `json:"p50_ms"`
+	P90Ms    float64        `json:"p90_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+
+	// Histogram is the fixed-bucket latency histogram: each bucket counts
+	// responses with latency < le_ms (non-cumulative, 25ms-wide buckets
+	// over [0, 1s)); Overflow counts slower responses.
+	Histogram []HistogramBucket `json:"latency_histogram"`
+	Overflow  int               `json:"latency_overflow"`
+}
+
+// HistogramBucket is one latency histogram bucket. Buckets with zero
+// counts are elided to keep reports compact and diffs quiet.
+type HistogramBucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int     `json:"count"`
+}
+
+// StatuszDelta captures the /v1/statusz numeric counters before and after
+// the traffic window. The snapshot versions pin the delta to an exact
+// inventory-version range, so counter movement can be correlated with
+// inventory churn (the reason statusz carries snapshot_version at all).
+type StatuszDelta struct {
+	SnapshotVersionBefore uint64             `json:"snapshot_version_before"`
+	SnapshotVersionAfter  uint64             `json:"snapshot_version_after"`
+	Deltas                map[string]float64 `json:"counter_deltas"`
+}
+
+// newStatuszDelta diffs two flattened statusz reads, keeping only keys
+// that moved (plus the snapshot versions, reported separately).
+func newStatuszDelta(before, after map[string]float64) StatuszDelta {
+	d := StatuszDelta{
+		SnapshotVersionBefore: uint64(before["snapshot_version"]),
+		SnapshotVersionAfter:  uint64(after["snapshot_version"]),
+		Deltas:                make(map[string]float64),
+	}
+	for k, av := range after {
+		if k == "snapshot_version" {
+			continue
+		}
+		if diff := av - before[k]; diff != 0 {
+			d.Deltas[k] = diff
+		}
+	}
+	return d
+}
+
+// opStats renders the recorder's per-operation section.
+func (r *Recorder) opStats() map[string]OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]OpStats, len(r.lat))
+	for _, op := range r.opNames() {
+		s := r.lat[op]
+		byStatus := make(map[string]int, len(r.status[op]))
+		count := 0
+		for code, n := range r.status[op] {
+			byStatus[fmt.Sprintf("%d", code)] = n
+			count += n
+		}
+		if n := r.transport[op]; n > 0 {
+			byStatus["transport_error"] = n
+		}
+		h := r.hist[op]
+		var buckets []HistogramBucket
+		width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+		for i, c := range h.Buckets {
+			if c > 0 {
+				buckets = append(buckets, HistogramBucket{LeMs: h.Lo + width*float64(i+1), Count: c})
+			}
+		}
+		out[op] = OpStats{
+			Count:     count,
+			ByStatus:  byStatus,
+			P50Ms:     round2(s.Quantile(0.50)),
+			P90Ms:     round2(s.Quantile(0.90)),
+			P99Ms:     round2(s.Quantile(0.99)),
+			Histogram: buckets,
+			Overflow:  h.Over,
+		}
+	}
+	return out
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+
+// Write marshals the report (stable key order via struct fields and sorted
+// map rendering by encoding/json) and writes it to path, creating parent
+// directories as needed.
+func (rep *Report) Write(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Summary renders the human-readable per-scenario verdict table printed by
+// the CLI after a run.
+func (rep *Report) Summary() string {
+	var b []byte
+	for _, sr := range rep.Scenarios {
+		verdict := "PASS"
+		if !sr.Pass {
+			verdict = "FAIL"
+		}
+		line := fmt.Sprintf("%-16s %s", sr.Name, verdict)
+		if rs, ok := sr.Ops[opReserve]; ok {
+			line += fmt.Sprintf("  reserve: %d ops p50=%.2fms p99=%.2fms", rs.Count, rs.P50Ms, rs.P99Ms)
+		}
+		for _, c := range append(append([]CheckResult(nil), sr.Invariants...), sr.SLOs...) {
+			if !c.Pass {
+				line += fmt.Sprintf("\n%18s! %s: %s", "", c.Name, c.Detail)
+			}
+		}
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// FailedChecks lists every failing check name across the report, sorted,
+// as "scenario/check" pairs.
+func (rep *Report) FailedChecks() []string {
+	var out []string
+	for _, sr := range rep.Scenarios {
+		for _, c := range append(append([]CheckResult(nil), sr.Invariants...), sr.SLOs...) {
+			if !c.Pass {
+				out = append(out, sr.Name+"/"+c.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stamp fills the report envelope fields.
+func (rep *Report) stamp(cfg Config) {
+	rep.Schema = ReportSchema
+	rep.SchemaVersion = SchemaVersion
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Seed = cfg.Seed
+	rep.Duration = cfg.Duration.String()
+	rep.Soak = cfg.Soak
+}

@@ -1,0 +1,73 @@
+package slotlab
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLO is a scenario's service-level objective set. Zero-valued fields are
+// skipped, so each scenario declares only the objectives that make sense
+// for its traffic shape. Latency objectives apply to the search path (find
+// + reserve), the requests that do real work; throughput counts every
+// completed response (a shed 429 is the server working as specified, not
+// lost throughput).
+type SLO struct {
+	// MaxP50 and MaxP99 cap the search-path latency quantiles.
+	MaxP50, MaxP99 time.Duration
+
+	// MinOpsPerSec floors the overall completed-response rate.
+	MinOpsPerSec float64
+
+	// MinGranted floors the number of successful (200) reserves — a guard
+	// against a scenario silently degenerating into all-rejections, which
+	// would make the double-booking and replay checks vacuous.
+	MinGranted int
+}
+
+// Evaluate renders the SLO verdicts against what the recorder observed
+// over the elapsed traffic window.
+func (s SLO) Evaluate(rec *Recorder, elapsed time.Duration) []CheckResult {
+	var out []CheckResult
+	rec.mu.Lock()
+	p50 := rec.search.Quantile(0.50)
+	p99 := rec.search.Quantile(0.99)
+	n := rec.search.Count()
+	rec.mu.Unlock()
+
+	if s.MaxP50 > 0 {
+		limit := float64(s.MaxP50) / float64(time.Millisecond)
+		out = append(out, verdict("latency_p50", n > 0 && p50 <= limit,
+			fmt.Sprintf("p50 %.2fms (limit %.0fms, %d search ops)", p50, limit, n)))
+	}
+	if s.MaxP99 > 0 {
+		limit := float64(s.MaxP99) / float64(time.Millisecond)
+		out = append(out, verdict("latency_p99", n > 0 && p99 <= limit,
+			fmt.Sprintf("p99 %.2fms (limit %.0fms, %d search ops)", p99, limit, n)))
+	}
+	if s.MinOpsPerSec > 0 {
+		total, _ := rec.Totals()
+		rate := float64(total) / elapsed.Seconds()
+		out = append(out, verdict("throughput_floor", rate >= s.MinOpsPerSec,
+			fmt.Sprintf("%.1f responses/sec (floor %.1f)", rate, s.MinOpsPerSec)))
+	}
+	if s.MinGranted > 0 {
+		granted := rec.granted()
+		out = append(out, verdict("granted_reserves_floor", granted >= s.MinGranted,
+			fmt.Sprintf("%d granted reserves (floor %d)", granted, s.MinGranted)))
+	}
+	return out
+}
+
+func verdict(name string, ok bool, detail string) CheckResult {
+	if ok {
+		return pass(name, detail)
+	}
+	return fail(name, detail)
+}
+
+// granted counts 200 responses on the reserve path.
+func (r *Recorder) granted() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status[opReserve][200]
+}

@@ -1,0 +1,263 @@
+// Package slotlab is the scenario-driven conformance and soak harness for
+// the slot-inventory service. Each scenario boots a live slotserve stack
+// (inventory + HTTP server on a loopback listener), drives it over real
+// HTTP with a workload shaped like one production failure mode — flash
+// crowds, hot-spot contention, node churn, deadline farms, starved
+// budgets, diurnal load — and then holds the end state to the invariants
+// that make the service trustworthy:
+//
+//   - zero double-booking across all committed reservations;
+//   - journal-replay determinism: the live concurrent run, replayed
+//     sequentially, reproduces the exact end state (the oracle);
+//   - admission-control conformance under overload: clean 429s with valid
+//     Retry-After, bounded goroutines, no undefined status codes;
+//   - per-scenario latency/throughput SLOs.
+//
+// Results are written as schema-versioned JSON reports (see Report) so CI
+// can gate on them and successive PRs can diff behavior.
+package slotlab
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"slotsel/internal/env"
+	"slotsel/internal/inventory"
+	"slotsel/internal/randx"
+	"slotsel/internal/server"
+)
+
+// Config is the run-level configuration shared by every scenario in one
+// slotlab invocation.
+type Config struct {
+	// Seed fixes every random stream in the run (environment generation,
+	// per-worker workload draws, recorder reservoirs).
+	Seed uint64
+
+	// Duration is the traffic window per scenario.
+	Duration time.Duration
+
+	// Soak marks a long-run invocation (nightly tier). It only changes
+	// the report envelope; the caller picks the longer Duration.
+	Soak bool
+
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (cfg Config) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		cfg.Log(format, args...)
+	}
+}
+
+// Run executes the given scenarios sequentially under cfg and returns the
+// combined report. Scenario failures are reported, not returned as errors;
+// an error means the harness itself could not run (boot failure, statusz
+// unreachable).
+func Run(cfg Config, scenarios []*Scenario) (*Report, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	rep := &Report{Pass: true}
+	rep.stamp(cfg)
+	for _, sc := range scenarios {
+		cfg.logf("scenario %s: %s", sc.Name, sc.Description)
+		sr, err := runScenario(cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, *sr)
+		if !sr.Pass {
+			rep.Pass = false
+		}
+		verdict := "PASS"
+		if !sr.Pass {
+			verdict = "FAIL"
+		}
+		cfg.logf("scenario %s: %s (%d ops)", sc.Name, verdict, totalOps(sr))
+	}
+	return rep, nil
+}
+
+func totalOps(sr *ScenarioReport) int {
+	n := 0
+	for _, os := range sr.Ops {
+		n += os.Count
+	}
+	return n
+}
+
+// runScenario boots a fresh stack, runs the scenario's traffic window, and
+// assembles its report entry.
+func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
+	params := sc.params(cfg)
+	seed := cfg.Seed ^ nameHash(sc.Name)
+
+	// Environment: heterogeneous nodes with the paper's initial
+	// non-dedicated load already cut out of the free lists.
+	ecfg := env.DefaultConfig().WithNodeCount(params.Nodes).WithHorizon(params.Horizon)
+	ecfg.MinSlotLength = params.MinSlotLength
+	e := env.Generate(ecfg, randx.New(seed))
+
+	inv, err := inventory.New(e.Slots, inventory.Options{
+		MinSlotLength: params.MinSlotLength,
+		DefaultTTL:    params.TTL,
+		Record:        true, // the journal is the oracle's input
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(inv, server.Options{
+		MaxInflight:    params.MaxInflight,
+		QueueDepth:     params.QueueDepth,
+		RequestTimeout: params.RequestTimeout,
+	})
+
+	baseline := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		hs.Serve(ln)
+	}()
+
+	rec := NewRecorder(seed)
+	client := NewClient("http://"+ln.Addr().String(), rec)
+
+	before, err := client.Statusz()
+	if err != nil {
+		hs.Close()
+		<-serveDone
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+	lab := &Lab{
+		Cfg: cfg, Params: params, Client: client, Inv: inv,
+		ctx: ctx, start: time.Now(), dur: cfg.Duration,
+	}
+
+	// Goroutine watermark: sampled through the traffic window, checked
+	// against the structural bound afterwards. Overload must shed, not
+	// spawn.
+	peak := baseline
+	var peakMu sync.Mutex
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				n := runtime.NumGoroutine()
+				peakMu.Lock()
+				if n > peak {
+					peak = n
+				}
+				peakMu.Unlock()
+			}
+		}
+	}()
+
+	if params.Background != nil {
+		go params.Background(lab, ctx.Done())
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < params.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := randx.New(seed ^ (uint64(id+1) * 0x9e3779b97f4a7c15))
+			body := sc.worker(lab, rng, id)
+			for op := 0; ctx.Err() == nil; op++ {
+				body(op)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(lab.start)
+	<-samplerDone
+
+	// End-state reads happen with no mutators left: statusz-after over the
+	// still-live server, then shutdown, then one final sweep so lapsed
+	// holds are journaled before the oracle snapshots everything.
+	after, err := client.Statusz()
+	if err != nil {
+		hs.Close()
+		<-serveDone
+		return nil, err
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = hs.Shutdown(shutCtx)
+	shutCancel()
+	<-serveDone
+	if err != nil {
+		return nil, fmt.Errorf("server shutdown: %w", err)
+	}
+	inv.Sweep()
+
+	peakMu.Lock()
+	peakN := peak
+	peakMu.Unlock()
+
+	delta := newStatuszDelta(before, after)
+	invariants := []CheckResult{
+		checkNoDoubleBooking(inv.Committed()),
+		checkReplay(inv, params.MinSlotLength),
+		checkAdmission(rec),
+		checkConformance(rec),
+		checkDeadlines(rec),
+		checkGoroutineBound(baseline, peakN, params.Workers, params.MaxInflight, params.QueueDepth),
+	}
+	if sc.verify != nil {
+		invariants = append(invariants, sc.verify(lab, delta)...)
+	}
+	slos := params.SLO.Evaluate(rec, elapsed)
+
+	sr := &ScenarioReport{
+		Name:           sc.Name,
+		Description:    sc.Description,
+		Pass:           allPass(invariants) && allPass(slos),
+		ElapsedSeconds: round2(elapsed.Seconds()),
+		Invariants:     invariants,
+		SLOs:           slos,
+		Ops:            rec.opStats(),
+		Statusz:        delta,
+	}
+	return sr, nil
+}
+
+func allPass(checks []CheckResult) bool {
+	for _, c := range checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// nameHash is FNV-1a over the scenario name: a stable per-scenario seed
+// perturbation so scenarios draw independent streams from one run seed.
+func nameHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

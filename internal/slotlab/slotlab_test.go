@@ -1,0 +1,174 @@
+package slotlab
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// short durations keep the full-suite test within CI budgets; scenarios are
+// tuned to reach their interesting regime (overload, starvation, churn)
+// within a couple hundred milliseconds.
+func testConfig(t *testing.T) Config {
+	d := 500 * time.Millisecond
+	if testing.Short() {
+		d = 300 * time.Millisecond
+	}
+	return Config{Seed: 1, Duration: d, Log: t.Logf}
+}
+
+func TestResolve(t *testing.T) {
+	all, err := Resolve("all")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("Resolve(all) = %d scenarios, err %v; want 6, nil", len(all), err)
+	}
+	one, err := Resolve("hot-spot")
+	if err != nil || len(one) != 1 || one[0].Name != "hot-spot" {
+		t.Fatalf("Resolve(hot-spot) = %v, %v", one, err)
+	}
+	two, err := Resolve("churn, diurnal, churn")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Resolve dedup: got %d scenarios, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := Resolve("no-such"); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("Resolve(no-such) err = %v; want unknown-scenario error", err)
+	}
+	if _, err := Resolve(","); err == nil {
+		t.Fatalf("Resolve(\",\") should error on empty selection")
+	}
+}
+
+// TestScenariosPass runs every scenario end to end and requires a clean
+// verdict: all invariants (double-booking, replay determinism, admission,
+// conformance, deadlines, goroutine bound) and all SLOs must hold at the
+// smoke tier.
+func TestScenariosPass(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(testConfig(t), []*Scenario{sc})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			sr := rep.Scenarios[0]
+			for _, c := range append(append([]CheckResult(nil), sr.Invariants...), sr.SLOs...) {
+				if !c.Pass {
+					t.Errorf("check %s failed: %s", c.Name, c.Detail)
+				}
+			}
+			if !sr.Pass || !rep.Pass {
+				t.Errorf("scenario %s did not pass", sc.Name)
+			}
+			if totalOps(&sr) == 0 {
+				t.Errorf("scenario %s recorded no operations", sc.Name)
+			}
+		})
+	}
+}
+
+// TestReportShape verifies the schema-versioned JSON envelope: a written
+// report must round-trip with the schema identifiers, per-scenario checks
+// and statusz deltas intact.
+func TestReportShape(t *testing.T) {
+	cfg := testConfig(t)
+	scs, _ := Resolve("budget-starved")
+	rep, err := Run(cfg, scs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "results", "slotlab_test.json")
+	if err := rep.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got["schema"] != ReportSchema {
+		t.Errorf("schema = %v, want %q", got["schema"], ReportSchema)
+	}
+	if int(got["schema_version"].(float64)) != SchemaVersion {
+		t.Errorf("schema_version = %v, want %d", got["schema_version"], SchemaVersion)
+	}
+	if got["seed"].(float64) != float64(cfg.Seed) {
+		t.Errorf("seed = %v, want %d", got["seed"], cfg.Seed)
+	}
+	scenarios := got["scenarios"].([]any)
+	if len(scenarios) != 1 {
+		t.Fatalf("scenarios = %d entries, want 1", len(scenarios))
+	}
+	first := scenarios[0].(map[string]any)
+	for _, key := range []string{"name", "pass", "invariants", "slos", "ops", "statusz"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("scenario entry missing %q", key)
+		}
+	}
+	st := first["statusz"].(map[string]any)
+	if st["snapshot_version_after"].(float64) < st["snapshot_version_before"].(float64) {
+		t.Errorf("snapshot versions went backwards: %v -> %v",
+			st["snapshot_version_before"], st["snapshot_version_after"])
+	}
+	if rep.Summary() == "" {
+		t.Errorf("Summary() is empty")
+	}
+	if fails := rep.FailedChecks(); rep.Pass && len(fails) != 0 {
+		t.Errorf("passing report lists failed checks: %v", fails)
+	}
+}
+
+// TestScenarioExpectationsReached verifies that the scenarios actually
+// reach their designed regimes at the smoke tier — otherwise the
+// interesting invariants would be vacuously true.
+func TestScenarioExpectationsReached(t *testing.T) {
+	cfg := testConfig(t)
+	scs, _ := Resolve("flash-crowd,churn,budget-starved")
+	rep, err := Run(cfg, scs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := map[string]string{
+		"flash-crowd":    "overload_reached",
+		"churn":          "churn_applied",
+		"budget-starved": "starvation_reached",
+	}
+	for _, sr := range rep.Scenarios {
+		name := want[sr.Name]
+		found := false
+		for _, c := range sr.Invariants {
+			if c.Name == name {
+				found = true
+				if !c.Pass {
+					t.Errorf("%s: expectation %s not reached: %s", sr.Name, name, c.Detail)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: expectation check %s missing from invariants", sr.Name, name)
+		}
+	}
+}
+
+// TestRetryAfterValidation exercises the recorder's shed-contract check
+// directly.
+func TestRetryAfterValidation(t *testing.T) {
+	rec := NewRecorder(1)
+	for _, ok := range []string{"1", "7", "30"} {
+		rec.checkRetryAfter(ok)
+	}
+	if rec.badRetry != 0 {
+		t.Fatalf("valid Retry-After values flagged: badRetry = %d", rec.badRetry)
+	}
+	for _, bad := range []string{"", "0", "31", "-2", "soon", "1.5"} {
+		rec.checkRetryAfter(bad)
+	}
+	if rec.badRetry != 6 {
+		t.Fatalf("badRetry = %d, want 6", rec.badRetry)
+	}
+}
