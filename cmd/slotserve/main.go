@@ -7,6 +7,7 @@
 //
 //	slotserve -slots FILE [-addr HOST:PORT] [-workers N] [-queue N]
 //	          [-ttl D] [-timeout D] [-min-slot-length L]
+//	          [-log-format json|off]
 //	          [-stats] [-trace FILE] [-pprof ADDR]
 //
 // -slots accepts either a cmd/slotgen environment snapshot or a bare slot
@@ -19,6 +20,12 @@
 //
 //	curl -s localhost:8080/v1/reserve -d '{"request":{"tasks":2,"volume":50}}'
 //	curl -s localhost:8080/v1/commit -d '{"id":"r00000001"}'
+//
+// Telemetry (see the README's "Telemetry"): GET /metricsz serves
+// Prometheus text exposition (always on), every response carries an
+// X-Trace-Id header, -log-format=json writes one structured request-log
+// line per request to stdout sharing that trace ID, and -pprof ADDR
+// serves the runtime profiles.
 //
 // The process drains in-flight requests and exits on SIGINT/SIGTERM.
 package main

@@ -1,0 +1,272 @@
+// Package benchgate is the performance-regression gate over Go benchmark
+// output: it parses benchstat-compatible `BenchmarkXxx ... ns/op` lines,
+// pairs a baseline file against a current run, and flags every benchmark
+// whose median moved past a threshold with statistical significance
+// (two-sided Mann-Whitney U, the same test benchstat applies).
+//
+// The baseline is checked into the repository (results/bench_baseline.txt)
+// and may have been recorded on different hardware than the run under
+// test. Raw ns/op therefore carries a machine-speed factor that would
+// drown real regressions in false positives, so the ns/op comparison is
+// calibrated: the median new/old ratio across ALL paired benchmarks is
+// taken as the machine factor, and a benchmark regresses only when its own
+// ratio exceeds that shared factor by more than the threshold. A uniform
+// slowdown (slower CI runner) calibrates away; one kernel getting slower
+// relative to the rest of the grid does not. allocs/op is deterministic
+// and machine-independent, so it is compared uncalibrated.
+package benchgate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Set holds parsed benchmark samples: benchmark name -> unit -> one value
+// per repetition line.
+type Set struct {
+	Benchmarks map[string]map[string][]float64
+}
+
+// ParseSet reads Go benchmark output (one `Benchmark...` line per
+// repetition; headers and unrelated lines are skipped) and collects the
+// per-unit sample vectors.
+func ParseSet(r io.Reader) (*Set, error) {
+	s := &Set{Benchmarks: make(map[string]map[string][]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields: name, iterations, then (value, unit) pairs.
+		name := trimGOMAXPROCS(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("line %d: iteration count %q: %w", lineno, fields[1], err)
+		}
+		if (len(fields)-2)%2 != 0 {
+			return nil, fmt.Errorf("line %d: odd value/unit tail", lineno)
+		}
+		for i := 2; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: value %q: %w", lineno, fields[i], err)
+			}
+			unit := fields[i+1]
+			if s.Benchmarks[name] == nil {
+				s.Benchmarks[name] = make(map[string][]float64)
+			}
+			s.Benchmarks[name][unit] = append(s.Benchmarks[name][unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// trimGOMAXPROCS drops the `-N` procs suffix Go appends to benchmark
+// names, so baselines recorded at different GOMAXPROCS still pair up.
+func trimGOMAXPROCS(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Options configures a comparison.
+type Options struct {
+	// Threshold is the fractional regression bound (0.10 = fail past +10%).
+	Threshold float64
+
+	// Alpha is the significance level for the Mann-Whitney test.
+	Alpha float64
+
+	// Units lists the units gated, in report order. A unit absent from
+	// either file is skipped silently (old baselines may predate a metric).
+	Units []string
+
+	// Calibrated marks units whose cross-machine speed factor must be
+	// normalized out before thresholding (time-like units).
+	Calibrated map[string]bool
+}
+
+// DefaultOptions is the gate the CI job runs: >10% significant regression
+// in ns/op (machine-calibrated) or allocs/op (raw).
+func DefaultOptions() Options {
+	return Options{
+		Threshold:  0.10,
+		Alpha:      0.05,
+		Units:      []string{"ns/op", "allocs/op"},
+		Calibrated: map[string]bool{"ns/op": true},
+	}
+}
+
+// Delta is one benchmark/unit pair's comparison outcome.
+type Delta struct {
+	Name      string
+	Unit      string
+	OldMedian float64
+	NewMedian float64
+
+	// Ratio is NewMedian/OldMedian after calibration (1.0 = unchanged
+	// relative to the rest of the grid).
+	Ratio float64
+
+	// P is the two-sided Mann-Whitney p-value over the raw samples.
+	P float64
+
+	Regressed bool
+}
+
+// Result is a full comparison: every paired delta plus the calibration
+// factors that were divided out.
+type Result struct {
+	Deltas []Delta
+
+	// Factor is the per-unit machine-speed factor (median new/old ratio)
+	// applied to calibrated units; 1.0 for uncalibrated units.
+	Factor map[string]float64
+
+	// Compared counts benchmark/unit pairs present in both sets.
+	Compared int
+}
+
+// Regressions returns only the failing deltas.
+func (r *Result) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare pairs old (baseline) against new (current run) per Options. A
+// benchmark missing from either side is skipped: baselines are allowed to
+// trail the benchmark catalogue by one PR.
+func Compare(oldSet, newSet *Set, opts Options) *Result {
+	res := &Result{Factor: make(map[string]float64)}
+	names := make([]string, 0, len(oldSet.Benchmarks))
+	for name := range oldSet.Benchmarks {
+		if _, ok := newSet.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, unit := range opts.Units {
+		// Calibration pass: the shared machine factor is the median of the
+		// per-benchmark median ratios, so a uniformly slower runner moves
+		// every ratio together and cancels out of the gate below.
+		factor := 1.0
+		if opts.Calibrated[unit] {
+			var ratios []float64
+			for _, name := range names {
+				om := median(oldSet.Benchmarks[name][unit])
+				nm := median(newSet.Benchmarks[name][unit])
+				if om > 0 && nm > 0 {
+					ratios = append(ratios, nm/om)
+				}
+			}
+			if len(ratios) > 0 {
+				factor = median(ratios)
+			}
+		}
+		res.Factor[unit] = factor
+
+		for _, name := range names {
+			olds := oldSet.Benchmarks[name][unit]
+			news := newSet.Benchmarks[name][unit]
+			if len(olds) == 0 || len(news) == 0 {
+				continue
+			}
+			res.Compared++
+			d := Delta{
+				Name: name, Unit: unit,
+				OldMedian: median(olds), NewMedian: median(news),
+				P: MannWhitney(olds, news),
+			}
+			switch {
+			case d.OldMedian == 0 && d.NewMedian == 0:
+				d.Ratio = 1
+			case d.OldMedian == 0:
+				// 0 -> nonzero (e.g. a zero-alloc path starting to
+				// allocate) is an unconditional regression of the worst
+				// kind; significance still applies.
+				d.Ratio = inf()
+			default:
+				d.Ratio = d.NewMedian / d.OldMedian / factor
+			}
+			d.Regressed = d.Ratio > 1+opts.Threshold && d.P < opts.Alpha
+			res.Deltas = append(res.Deltas, d)
+		}
+	}
+	return res
+}
+
+// Gate compares two benchmark files and writes a human-readable verdict to
+// w. It returns an error listing the regressions when the gate fails.
+func Gate(oldR, newR io.Reader, opts Options, w io.Writer) error {
+	oldSet, err := ParseSet(oldR)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	newSet, err := ParseSet(newR)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	if len(oldSet.Benchmarks) == 0 {
+		return fmt.Errorf("baseline: no benchmark lines")
+	}
+	if len(newSet.Benchmarks) == 0 {
+		return fmt.Errorf("current: no benchmark lines")
+	}
+	res := Compare(oldSet, newSet, opts)
+	if res.Compared == 0 {
+		return fmt.Errorf("no benchmarks in common between baseline and current run")
+	}
+	for _, unit := range opts.Units {
+		if opts.Calibrated[unit] {
+			fmt.Fprintf(w, "benchgate: %s machine factor %.3fx (calibrated out)\n", unit, res.Factor[unit])
+		}
+	}
+	regs := res.Regressions()
+	for _, d := range regs {
+		fmt.Fprintf(w, "benchgate: REGRESSION %s %s: %.4g -> %.4g (%.1f%% over grid, p=%.4f)\n",
+			d.Name, d.Unit, d.OldMedian, d.NewMedian, (d.Ratio-1)*100, d.P)
+	}
+	fmt.Fprintf(w, "benchgate: %d benchmark/unit pairs compared, %d regressed (threshold +%.0f%%, alpha %.2f)\n",
+		res.Compared, len(regs), opts.Threshold*100, opts.Alpha)
+	if len(regs) > 0 {
+		return fmt.Errorf("%d significant regressions past +%.0f%%", len(regs), opts.Threshold*100)
+	}
+	return nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func inf() float64 { return math.Inf(1) }

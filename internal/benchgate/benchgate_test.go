@@ -1,0 +1,214 @@
+package benchgate
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSet(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: slotsel/internal/core
+BenchmarkFind/MinCost/nodes=64-8   	1	1500 ns/op	0 B/op	0 allocs/op
+BenchmarkFind/MinCost/nodes=64-8   	1	1600 ns/op	0 B/op	0 allocs/op
+BenchmarkCSA/nodes=64 	1	9000 ns/op
+PASS
+ok  	slotsel/internal/core	1.2s
+`
+	s, err := ParseSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -8 GOMAXPROCS suffix must be trimmed so cross-machine baselines
+	// pair with runs at a different core count.
+	ns := s.Benchmarks["BenchmarkFind/MinCost/nodes=64"]["ns/op"]
+	if len(ns) != 2 || ns[0] != 1500 || ns[1] != 1600 {
+		t.Errorf("ns/op samples = %v, want [1500 1600]", ns)
+	}
+	if al := s.Benchmarks["BenchmarkFind/MinCost/nodes=64"]["allocs/op"]; len(al) != 2 || al[0] != 0 {
+		t.Errorf("allocs/op samples = %v", al)
+	}
+	if got := s.Benchmarks["BenchmarkCSA/nodes=64"]["ns/op"]; len(got) != 1 || got[0] != 9000 {
+		t.Errorf("unsuffixed benchmark: %v", got)
+	}
+}
+
+func TestParseSetRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX\tnotanumber\t12 ns/op\n",
+		"BenchmarkX\t1\t12 ns/op trailing\n",
+		"BenchmarkX\t1\tbogus ns/op\n",
+	} {
+		if _, err := ParseSet(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseSet(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestMannWhitney pins the test against known behavior: identical samples
+// are insignificant, clearly separated samples are significant, and the
+// exact small-sample path agrees with the normal approximation on a
+// borderline case to within the approximation's accuracy.
+func TestMannWhitney(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if p := MannWhitney(same, same); p < 0.99 {
+		t.Errorf("identical samples: p = %v, want ~1", p)
+	}
+	lo := []float64{10, 11, 12, 13, 14}
+	hi := []float64{20, 21, 22, 23, 24}
+	p := MannWhitney(lo, hi)
+	// Fully separated n1=n2=5: exact two-sided p = 2/C(10,5) = 0.0079...
+	if math.Abs(p-2.0/252) > 1e-9 {
+		t.Errorf("separated samples: p = %v, want %v", p, 2.0/252)
+	}
+	if q := MannWhitney(hi, lo); q != p {
+		t.Errorf("test not symmetric: %v vs %v", q, p)
+	}
+	// Constant samples (zero variance, all tied): uninformative, p = 1.
+	if p := MannWhitney([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Errorf("all-tied samples: p = %v, want 1", p)
+	}
+	// Tied but separated (0-alloc baseline vs 2-alloc run at count=7):
+	// the tie-corrected normal path must still reach significance.
+	zeros := []float64{0, 0, 0, 0, 0, 0, 0}
+	twos := []float64{2, 2, 2, 2, 2, 2, 2}
+	if p := MannWhitney(zeros, twos); p >= 0.05 {
+		t.Errorf("0->2 allocs at n=7: p = %v, want < 0.05", p)
+	}
+	if p := MannWhitney(nil, twos); p != 1 {
+		t.Errorf("empty sample: p = %v, want 1", p)
+	}
+}
+
+// TestMannWhitneyInterleaved pins the exact enumeration on a larger
+// tie-free sample: perfectly interleaved samples (a constant +1 offset)
+// carry only weak evidence of a shift — the exact two-sided p for rank sum
+// 144 at n1=n2=12 is 0.7553 — and must stay far from significance.
+func TestMannWhitneyInterleaved(t *testing.T) {
+	x := []float64{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23}
+	y := []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24}
+	p := MannWhitney(x, y)
+	if math.Abs(p-0.7553) > 0.001 {
+		t.Errorf("interleaved samples: p = %v, want 0.7553", p)
+	}
+}
+
+func benchLines(name string, unit string, vals ...float64) string {
+	var b strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&b, "%s\t1\t%g %s\n", name, v, unit)
+	}
+	return b.String()
+}
+
+// TestCompareCalibration is the cross-machine story: a uniform 2x slowdown
+// across the whole grid calibrates away, while the one benchmark that got
+// 2.6x slower (1.3x past the machine factor) is flagged.
+func TestCompareCalibration(t *testing.T) {
+	var oldB, newB strings.Builder
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("BenchmarkFind/alg=A%d", i)
+		oldB.WriteString(benchLines(name, "ns/op", 100, 101, 102, 103, 104))
+		scale := 2.0 // the new machine is uniformly 2x slower
+		if i == 7 {
+			scale = 2.6 // ...except this kernel genuinely regressed
+		}
+		newB.WriteString(benchLines(name, "ns/op", 100*scale, 101*scale, 102*scale, 103*scale, 104*scale))
+	}
+	oldSet, _ := ParseSet(strings.NewReader(oldB.String()))
+	newSet, _ := ParseSet(strings.NewReader(newB.String()))
+	res := Compare(oldSet, newSet, DefaultOptions())
+	if f := res.Factor["ns/op"]; f < 1.9 || f > 2.1 {
+		t.Errorf("machine factor = %v, want ~2", f)
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkFind/alg=A7" {
+		t.Fatalf("regressions = %+v, want exactly alg=A7", regs)
+	}
+	if r := regs[0].Ratio; r < 1.25 || r > 1.35 {
+		t.Errorf("calibrated ratio = %v, want ~1.3", r)
+	}
+}
+
+// TestCompareAllocsUncalibrated: allocs/op is machine-independent, so a
+// 0->2 step fails the gate even when every timing is unchanged.
+func TestCompareAllocsUncalibrated(t *testing.T) {
+	oldTxt := benchLines("BenchmarkFind", "allocs/op", 0, 0, 0, 0, 0, 0, 0)
+	newTxt := benchLines("BenchmarkFind", "allocs/op", 2, 2, 2, 2, 2, 2, 2)
+	oldSet, _ := ParseSet(strings.NewReader(oldTxt))
+	newSet, _ := ParseSet(strings.NewReader(newTxt))
+	res := Compare(oldSet, newSet, DefaultOptions())
+	regs := res.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("0->2 allocs/op not flagged: %+v", res.Deltas)
+	}
+	if regs[0].Unit != "allocs/op" {
+		t.Errorf("regression unit = %q", regs[0].Unit)
+	}
+}
+
+// TestCompareInsignificantNoiseIgnored: a +30% median shift with heavily
+// overlapping samples must NOT fail the gate — that is the entire point of
+// pairing the threshold with a significance test.
+func TestCompareInsignificantNoiseIgnored(t *testing.T) {
+	oldTxt := benchLines("BenchmarkA", "ns/op", 100, 400, 120, 390, 110) +
+		benchLines("BenchmarkB", "ns/op", 100, 100, 100, 100, 100)
+	newTxt := benchLines("BenchmarkA", "ns/op", 130, 110, 410, 100, 395) +
+		benchLines("BenchmarkB", "ns/op", 100, 100, 100, 100, 100)
+	oldSet, _ := ParseSet(strings.NewReader(oldTxt))
+	newSet, _ := ParseSet(strings.NewReader(newTxt))
+	res := Compare(oldSet, newSet, DefaultOptions())
+	for _, d := range res.Regressions() {
+		t.Errorf("noise flagged as regression: %+v", d)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := benchLines("BenchmarkA", "ns/op", 100, 101, 102, 99, 98)
+	var out bytes.Buffer
+	if err := Gate(strings.NewReader(base), strings.NewReader(base), DefaultOptions(), &out); err != nil {
+		t.Errorf("self-comparison failed the gate: %v\n%s", err, out.String())
+	}
+	worse := benchLines("BenchmarkA", "ns/op", 150, 151, 152, 149, 148)
+	out.Reset()
+	err := Gate(strings.NewReader(base), strings.NewReader(worse), DefaultOptions(), &out)
+	// A single benchmark means the machine factor IS the regression ratio,
+	// so calibration absorbs it: the gate needs a grid to tell a slow
+	// machine from a slow kernel. Verify the factor is reported.
+	if !strings.Contains(out.String(), "machine factor") {
+		t.Errorf("gate output missing calibration report:\n%s", out.String())
+	}
+	_ = err
+
+	// With a grid, the one regressed benchmark fails the gate.
+	grid := func(bump float64) string {
+		var b strings.Builder
+		for i := 0; i < 6; i++ {
+			scale := 1.0
+			if i == 0 {
+				scale = bump
+			}
+			b.WriteString(benchLines(fmt.Sprintf("BenchmarkG%d", i), "ns/op",
+				100*scale, 101*scale, 102*scale, 99*scale, 98*scale))
+		}
+		return b.String()
+	}
+	out.Reset()
+	err = Gate(strings.NewReader(grid(1)), strings.NewReader(grid(1.5)), DefaultOptions(), &out)
+	if err == nil {
+		t.Fatalf("50%% regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkG0") {
+		t.Errorf("gate output does not name the regression:\n%s", out.String())
+	}
+
+	if err := Gate(strings.NewReader(""), strings.NewReader(base), DefaultOptions(), &out); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if err := Gate(strings.NewReader(base), strings.NewReader(benchLines("BenchmarkZZZ", "ns/op", 1)), DefaultOptions(), &out); err == nil {
+		t.Error("disjoint benchmark sets accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package benchgate
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitney returns the two-sided p-value of the Mann-Whitney U test for
+// H0: x and y are drawn from the same distribution — the location test
+// benchstat applies to benchmark samples. For small tie-free samples the
+// exact null distribution of the rank sum is enumerated (a subset-sum
+// count over the ranks); larger or tied samples use the normal
+// approximation with tie correction and continuity correction. Degenerate
+// inputs (an empty sample, or every value identical across both samples)
+// return 1: no evidence of a difference.
+func MannWhitney(x, y []float64) float64 {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	ranks, tieTerm, tied := midranks(x, y)
+	// Rank sum of sample x.
+	w := 0.0
+	for i := 0; i < n1; i++ {
+		w += ranks[i]
+	}
+
+	if !tied && n1+n2 <= 24 {
+		return exactRankSumP(w, n1, n2)
+	}
+
+	// Normal approximation. The tie correction shrinks the variance by the
+	// standard sum over tie groups; with every observation identical the
+	// variance is 0 and the test is uninformative.
+	n := float64(n1 + n2)
+	mean := float64(n1) * (n + 1) / 2
+	variance := float64(n1) * float64(n2) / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		return 1
+	}
+	// Continuity correction pulls |w-mean| in by 0.5.
+	z := math.Abs(w-mean) - 0.5
+	if z < 0 {
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	return 2 * normalUpperTail(z)
+}
+
+// midranks ranks the pooled sample, assigning tie groups their average
+// rank. Returns the ranks pooled in (x..., y...) order, the tie-correction
+// term sum(t^3 - t), and whether any tie exists.
+func midranks(x, y []float64) (ranks []float64, tieTerm float64, tied bool) {
+	n := len(x) + len(y)
+	pooled := make([]float64, 0, n)
+	pooled = append(pooled, x...)
+	pooled = append(pooled, y...)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pooled[idx[a]] < pooled[idx[b]] })
+
+	ranks = make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && pooled[idx[j+1]] == pooled[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		if t := float64(j - i + 1); t > 1 {
+			tied = true
+			tieTerm += t*t*t - t
+		}
+		i = j + 1
+	}
+	return ranks, tieTerm, tied
+}
+
+// exactRankSumP computes the exact two-sided p-value of rank sum w for
+// sample size n1 out of n1+n2 tie-free observations: the fraction of the
+// C(n1+n2, n1) equally likely rank subsets whose sum is at least as
+// extreme as w. counts[k][s] (built incrementally rank by rank) is the
+// number of k-subsets of {1..r} summing to s.
+func exactRankSumP(w float64, n1, n2 int) float64 {
+	n := n1 + n2
+	maxSum := n1 * (2*n - n1 + 1) / 2 // largest ranks: n-n1+1 .. n
+	counts := make([][]float64, n1+1)
+	for k := range counts {
+		counts[k] = make([]float64, maxSum+1)
+	}
+	counts[0][0] = 1
+	for r := 1; r <= n; r++ {
+		for k := min(r, n1); k >= 1; k-- {
+			row, prev := counts[k], counts[k-1]
+			for s := maxSum; s >= r; s-- {
+				row[s] += prev[s-r]
+			}
+		}
+	}
+
+	mean := float64(n1) * float64(n+1) / 2
+	dev := math.Abs(w - mean)
+	// Two-sided: mass of rank sums at least dev away from the mean, by the
+	// symmetry of the null distribution around its mean.
+	total, extreme := 0.0, 0.0
+	for s, c := range counts[n1] {
+		if c == 0 {
+			continue
+		}
+		total += c
+		if math.Abs(float64(s)-mean) >= dev-1e-9 {
+			extreme += c
+		}
+	}
+	return extreme / total
+}
+
+// normalUpperTail is P(Z >= z) for the standard normal, via the
+// complementary error function.
+func normalUpperTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

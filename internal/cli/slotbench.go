@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"slotsel/internal/batchsched"
+	"slotsel/internal/benchgate"
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/env"
@@ -69,7 +70,11 @@ type benchFile struct {
 // an oracle twin exists, and emits machine-readable JSON with ns_per_op,
 // allocs_per_op and bytes_per_op columns. With -check it instead runs the
 // kernel differential across the same grid and fails on any signature
-// mismatch — the CI gate.
+// mismatch — the CI gate. With -benchfmt it emits benchstat-comparable
+// `Benchmark... ns/op B/op allocs/op` lines (one per timed repetition)
+// instead of JSON, and with -gate it compares two such files through
+// internal/benchgate, exiting non-zero on a statistically significant
+// regression — the perf CI gate.
 func Slotbench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("slotbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -78,11 +83,17 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 		iters     = fs.Int("iters", 5, "timed repetitions per grid point (the minimum is reported)")
 		nodesGrid = fs.String("nodes", "16,32,64,128", "comma-separated node-count grid")
 		tasksGrid = fs.String("tasks", "2,5,10", "comma-separated window-size (task count) grid")
-		outPath   = fs.String("o", "BENCH_5.json", "output JSON path (- = stdout)")
+		outPath   = fs.String("o", "BENCH_5.json", "output path (- = stdout; benchfmt mode defaults to stdout)")
 		check     = fs.Bool("check", false, "run the incremental-vs-oracle differential over the grid instead of timing; non-zero exit on mismatch")
+		benchfmt  = fs.Bool("benchfmt", false, "emit Go benchmark lines (benchstat/-gate input) instead of JSON, one line per repetition")
+		gate      = fs.Bool("gate", false, "compare two -benchfmt files: slotbench -gate baseline.txt current.txt; non-zero exit on significant regression")
+		regress   = fs.Float64("regress", 10, "gate threshold: fail on a significant regression past this `percent`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *gate {
+		return benchGate(fs.Args(), *regress, stdout, stderr)
 	}
 	nodeCounts, err := parseIntGrid(*nodesGrid)
 	if err != nil {
@@ -102,78 +113,25 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 	if *check {
 		return benchCheck(stdout, stderr, *seed, nodeCounts, taskCounts)
 	}
+	if *benchfmt {
+		return benchFmt(stdout, stderr, *outPath, *seed, *iters, nodeCounts, taskCounts)
+	}
 
+	ops, err := benchOpsGrid(*seed, nodeCounts, taskCounts)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotbench:", err)
+		return 1
+	}
 	file := benchFile{Issue: 5, Seed: *seed}
-	sc := core.NewScanner()
-	for _, nc := range nodeCounts {
-		e := env.Generate(env.DefaultConfig().WithNodeCount(nc), randx.New(*seed))
-		list := e.Slots
-
-		for _, tasks := range taskCounts {
-			req := benchRequest(tasks)
-			for _, alg := range benchAlgorithms(*seed) {
-				oracle, ok := core.Oracle(alg)
-				if !ok {
-					fmt.Fprintf(stderr, "slotbench: no oracle twin for %s\n", alg.Name())
-					return 1
-				}
-				// The incremental kernel runs through the reused Scanner —
-				// the steady-state service shape, and the configuration the
-				// zero-alloc gate pins. The oracle twin has no pooled path;
-				// its per-visit copy+sort allocations are the baseline the
-				// alloc columns contrast against.
-				r1, r2 := req, req
-				alg := alg
-				for _, run := range []struct {
-					kernel string
-					op     func()
-				}{
-					{"incremental", func() { _, _ = sc.FindObserved(alg, list, &r1, nil) }},
-					{"oracle", func() { _, _ = oracle.Find(list, &r2) }},
-				} {
-					ns := benchTime(*iters, run.op)
-					allocs, bytes := benchAlloc(findAllocRounds, run.op)
-					file.Results = append(file.Results, benchResult{
-						Bench: "find", Alg: alg.Name(), Kernel: run.kernel,
-						Nodes: nc, Slots: len(list), Tasks: tasks,
-						NsPerOp: ns, Iters: *iters,
-						AllocsPerOp: allocs, BytesPerOp: bytes,
-					})
-				}
-			}
-
-			// CSA alternative search: repeated AMP over a carved working
-			// copy — the inventory/reserve hot path. Search draws a pooled
-			// scanner internally, so this times the shipped clone-free loop.
-			r := req
-			csaOp := func() {
-				_, _ = csa.Search(list, &r, csa.Options{MaxAlternatives: 10, MinSlotLength: 10})
-			}
-			ns := benchTime(*iters, csaOp)
-			allocs, bytes := benchAlloc(csaAllocRounds, csaOp)
-			file.Results = append(file.Results, benchResult{
-				Bench: "csa", Nodes: nc, Slots: len(list), Tasks: tasks,
-				NsPerOp: ns, Iters: *iters,
-				AllocsPerOp: allocs, BytesPerOp: bytes,
-			})
-		}
-
-		// Two-stage batch scheduling over a random batch: stage-1 CSA per
-		// job plus the stage-2 selection DP.
-		const batchJobs = 8
-		batchOp := func() {
-			batch := testkit.RandomBatch(randx.New(*seed), batchJobs)
-			_, _ = batchsched.Schedule(list, batch,
-				csa.Options{MaxAlternatives: 3, MinSlotLength: 10},
-				batchsched.SelectConfig{Budget: 4000, Criterion: csa.ByFinish})
-		}
-		ns := benchTime(*iters, batchOp)
-		allocs, bytes := benchAlloc(batchAllocRounds, batchOp)
-		file.Results = append(file.Results, benchResult{
-			Bench: "batch", Nodes: nc, Slots: len(list), Jobs: batchJobs,
-			NsPerOp: ns, Iters: *iters,
-			AllocsPerOp: allocs, BytesPerOp: bytes,
-		})
+	for _, bo := range ops {
+		times := benchTimes(*iters, bo.op)
+		allocs, bytes := benchAlloc(bo.allocRounds, bo.op)
+		r := bo.meta
+		r.NsPerOp = minInt64(times)
+		r.Iters = *iters
+		r.AllocsPerOp = allocs
+		r.BytesPerOp = bytes
+		file.Results = append(file.Results, r)
 	}
 
 	var w io.Writer = stdout
@@ -194,6 +152,198 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 	}
 	if *outPath != "-" {
 		fmt.Fprintf(stdout, "slotbench: wrote %d results to %s\n", len(file.Results), *outPath)
+	}
+	return 0
+}
+
+// benchOp is one measured grid point: a benchstat-safe name, the JSON
+// metadata row, the alloc-measurement batch size, and the operation.
+type benchOp struct {
+	name        string // e.g. BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=2
+	meta        benchResult
+	allocRounds int
+	op          func()
+}
+
+// benchOpsGrid enumerates the measured grid once, shared by the JSON and
+// -benchfmt output modes so the two can never time different workloads.
+func benchOpsGrid(seed uint64, nodeCounts, taskCounts []int) ([]benchOp, error) {
+	var ops []benchOp
+	sc := core.NewScanner()
+	for _, nc := range nodeCounts {
+		nc := nc
+		e := env.Generate(env.DefaultConfig().WithNodeCount(nc), randx.New(seed))
+		list := e.Slots
+
+		for _, tasks := range taskCounts {
+			req := benchRequest(tasks)
+			for _, alg := range benchAlgorithms(seed) {
+				oracle, ok := core.Oracle(alg)
+				if !ok {
+					return nil, fmt.Errorf("no oracle twin for %s", alg.Name())
+				}
+				// The incremental kernel runs through the reused Scanner —
+				// the steady-state service shape, and the configuration the
+				// zero-alloc gate pins. The oracle twin has no pooled path;
+				// its per-visit copy+sort allocations are the baseline the
+				// alloc columns contrast against.
+				r1, r2 := req, req
+				alg := alg
+				for _, run := range []struct {
+					kernel string
+					op     func()
+				}{
+					{"incremental", func() { _, _ = sc.FindObserved(alg, list, &r1, nil) }},
+					{"oracle", func() { _, _ = oracle.Find(list, &r2) }},
+				} {
+					ops = append(ops, benchOp{
+						name: fmt.Sprintf("BenchmarkFind/alg=%s/kernel=%s/nodes=%d/tasks=%d",
+							alg.Name(), run.kernel, nc, tasks),
+						meta: benchResult{
+							Bench: "find", Alg: alg.Name(), Kernel: run.kernel,
+							Nodes: nc, Slots: len(list), Tasks: tasks,
+						},
+						allocRounds: findAllocRounds,
+						op:          run.op,
+					})
+				}
+			}
+
+			// CSA alternative search: repeated AMP over a carved working
+			// copy — the inventory/reserve hot path. Search draws a pooled
+			// scanner internally, so this times the shipped clone-free loop.
+			r := req
+			tasks := tasks
+			ops = append(ops, benchOp{
+				name:        fmt.Sprintf("BenchmarkCSA/nodes=%d/tasks=%d", nc, tasks),
+				meta:        benchResult{Bench: "csa", Nodes: nc, Slots: len(list), Tasks: tasks},
+				allocRounds: csaAllocRounds,
+				op: func() {
+					_, _ = csa.Search(list, &r, csa.Options{MaxAlternatives: 10, MinSlotLength: 10})
+				},
+			})
+		}
+
+		// Two-stage batch scheduling over a random batch: stage-1 CSA per
+		// job plus the stage-2 selection DP.
+		const batchJobs = 8
+		ops = append(ops, benchOp{
+			name:        fmt.Sprintf("BenchmarkBatch/nodes=%d/jobs=%d", nc, batchJobs),
+			meta:        benchResult{Bench: "batch", Nodes: nc, Slots: len(list), Jobs: batchJobs},
+			allocRounds: batchAllocRounds,
+			op: func() {
+				batch := testkit.RandomBatch(randx.New(seed), batchJobs)
+				_, _ = batchsched.Schedule(list, batch,
+					csa.Options{MaxAlternatives: 3, MinSlotLength: 10},
+					batchsched.SelectConfig{Budget: 4000, Criterion: csa.ByFinish})
+			},
+		})
+	}
+	return ops, nil
+}
+
+// benchMinSample is the wall-time floor of one benchfmt measurement: fast
+// ops are batched until a sample covers at least this long, so a sample is
+// never dominated by clock granularity or scheduler jitter.
+const benchMinSample = 200 * time.Microsecond
+
+// benchFmt is the -benchfmt mode: the same grid, emitted as Go benchmark
+// lines — one line per timed repetition, so downstream statistics
+// (benchstat, the -gate Mann-Whitney test) see a real sample, not a point
+// estimate.
+//
+// Repetitions are taken round-robin across the whole grid, not
+// consecutively per benchmark: consecutive samples of one op share the
+// machine's momentary state (frequency step, a noisy neighbor) and
+// understate the run-to-run variance the significance test needs to model.
+// Spreading one benchmark's reps over the full run makes its sample
+// variance track the drift a later comparison run will actually face. The
+// alloc columns are measured once per grid point (they are deterministic)
+// and repeated on every line.
+func benchFmt(stdout, stderr io.Writer, outPath string, seed uint64, iters int, nodeCounts, taskCounts []int) int {
+	ops, err := benchOpsGrid(seed, nodeCounts, taskCounts)
+	if err != nil {
+		fmt.Fprintln(stderr, "slotbench:", err)
+		return 1
+	}
+	var w io.Writer = stdout
+	// The JSON default filename would mislabel text output, so benchfmt
+	// defaults to stdout unless -o names a path explicitly.
+	if outPath != "-" && outPath != "BENCH_5.json" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotbench:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	// Warm-up pass: page in every instance, size pools and indexes, and
+	// calibrate the per-op batch size from the warm-up timing.
+	batch := make([]int, len(ops))
+	for i, bo := range ops {
+		start := time.Now()
+		bo.op()
+		d := time.Since(start)
+		b := 1
+		if d > 0 && d < benchMinSample {
+			b = int(benchMinSample/d) + 1
+		}
+		if b > 1000 {
+			b = 1000
+		}
+		batch[i] = b
+	}
+	runtime.GC()
+
+	times := make([][]float64, len(ops))
+	for round := 0; round < iters; round++ {
+		for i, bo := range ops {
+			start := time.Now()
+			for j := 0; j < batch[i]; j++ {
+				bo.op()
+			}
+			perOp := float64(time.Since(start).Nanoseconds()) / float64(batch[i])
+			times[i] = append(times[i], perOp)
+		}
+	}
+
+	fmt.Fprintf(w, "goos: %s\ngoarch: %s\npkg: slotsel/cmd/slotbench\n", runtime.GOOS, runtime.GOARCH)
+	for i, bo := range ops {
+		allocs, bytes := benchAlloc(bo.allocRounds, bo.op)
+		for _, ns := range times[i] {
+			fmt.Fprintf(w, "%s\t%8d\t%.0f ns/op\t%.0f B/op\t%.2f allocs/op\n", bo.name, batch[i], ns, bytes, allocs)
+		}
+	}
+	return 0
+}
+
+// benchGate is the -gate mode: compare a baseline -benchfmt file against a
+// current one and fail on statistically significant regressions. ns/op is
+// machine-calibrated, allocs/op is compared raw; see internal/benchgate.
+func benchGate(args []string, regressPct float64, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "slotbench: -gate wants exactly two files: baseline.txt current.txt")
+		return 2
+	}
+	oldF, err := os.Open(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "slotbench:", err)
+		return 1
+	}
+	defer oldF.Close()
+	newF, err := os.Open(args[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "slotbench:", err)
+		return 1
+	}
+	defer newF.Close()
+	opts := benchgate.DefaultOptions()
+	opts.Threshold = regressPct / 100
+	if err := benchgate.Gate(oldF, newF, opts, stdout); err != nil {
+		fmt.Fprintln(stderr, "slotbench:", err)
+		return 1
 	}
 	return 0
 }
@@ -291,21 +441,31 @@ func benchAlloc(rounds int, op func()) (allocsPerOp, bytesPerOp float64) {
 	return float64(after.Mallocs-before.Mallocs) / n, float64(after.TotalAlloc-before.TotalAlloc) / n
 }
 
-// benchTime runs op iters times and returns the minimum wall time of one
-// run — the standard least-noise estimator for deterministic workloads.
-// The GC fence matters: without it, garbage left by a previous grid
-// point's allocation batch makes the collector tax every timed rep with
-// assist work, and even a minimum-of-iters estimator cannot dodge a
-// slowdown that covers the whole window.
-func benchTime(iters int, op func()) int64 {
+// benchTimes runs op iters times and returns every repetition's wall time.
+// The JSON mode reports the minimum (the standard least-noise estimator
+// for deterministic workloads); the benchfmt mode keeps the whole sample
+// so the regression gate can test significance. The GC fence matters:
+// without it, garbage left by a previous grid point's allocation batch
+// makes the collector tax every timed rep with assist work, and even a
+// minimum-of-iters estimator cannot dodge a slowdown that covers the whole
+// window.
+func benchTimes(iters int, op func()) []int64 {
 	op() // warm-up: page in the list, size the allocator
 	runtime.GC()
-	best := int64(0)
-	for i := 0; i < iters; i++ {
+	times := make([]int64, iters)
+	for i := range times {
 		start := time.Now()
 		op()
-		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
-			best = d
+		times[i] = time.Since(start).Nanoseconds()
+	}
+	return times
+}
+
+func minInt64(xs []int64) int64 {
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x < best {
+			best = x
 		}
 	}
 	return best

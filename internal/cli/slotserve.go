@@ -19,6 +19,8 @@ import (
 	"slotsel/internal/persist"
 	"slotsel/internal/server"
 	"slotsel/internal/slots"
+	"slotsel/internal/telemetry"
+	"slotsel/internal/telemetry/reqlog"
 )
 
 // slotserveTestHook, when set by a test, receives the bound address and a
@@ -37,6 +39,7 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		ttl      = fs.Duration("ttl", 30*time.Second, "default reservation hold lifetime")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request deadline")
 		minLen   = fs.Float64("min-slot-length", 0, "drop free fragments shorter than this")
+		logFmt   = fs.String("log-format", "off", "request log `format`: json (one line per request on stdout) or off")
 	)
 	obsF := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -54,12 +57,32 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	var reqLog *reqlog.Logger
+	switch *logFmt {
+	case "json":
+		reqLog = reqlog.New(stdout)
+	case "off", "":
+		// reqLog stays nil: logging off.
+	default:
+		fmt.Fprintf(stderr, "slotserve: unknown -log-format %q (want json or off)\n", *logFmt)
+		return 2
+	}
+
 	stats := &obs.Stats{}
 	col, err := obsF.setup("slotserve", stats, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "slotserve:", err)
 		return 1
 	}
+
+	// The metrics registry is always on: /metricsz costs nothing until
+	// scraped (counters are plain atomics), and a production service with
+	// no metrics endpoint is not observable. The telemetry adapter joins
+	// the obs seam so kernel counters (scans, per-algorithm searches,
+	// batch accounting) surface as slotsel_* series next to the server's
+	// slotserve_* families.
+	reg := telemetry.NewRegistry()
+	col = obs.Combine(col, telemetry.NewCollector(reg))
 
 	inv, err := inventory.New(list, inventory.Options{
 		MinSlotLength: *minLen,
@@ -75,6 +98,8 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		Collector:      col,
+		Metrics:        reg,
+		RequestLog:     reqLog,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

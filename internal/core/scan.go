@@ -196,12 +196,15 @@ func scanLoop(list slots.List, req *job.Request, col obs.Collector, indexed bool
 	}
 	if col != nil {
 		col.ScanDone(st)
+		// No Arg on the scan span: formatting one would be the only heap
+		// allocation on the observed steady-state path (the zero-alloc
+		// gate in internal/telemetry pins this), and the per-scan counters
+		// already travel in the ScanDone event above.
 		col.Span(obs.Span{
 			Name:  "scan",
 			Cat:   "scan",
 			Start: begin,
 			Dur:   obs.Now() - begin,
-			Arg:   fmt.Sprintf("slots=%d visits=%d peak=%d", st.Slots, st.Visits, st.PeakWindow),
 		})
 	}
 	return nil

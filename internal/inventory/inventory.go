@@ -154,13 +154,14 @@ type Counters struct {
 
 // Status is a point-in-time summary for monitoring (the /v1/statusz view).
 type Status struct {
-	Version   uint64   `json:"version"`
-	Nodes     int      `json:"nodes"`
-	FreeSlots int      `json:"free_slots"`
-	FreeSpan  float64  `json:"free_span"`
-	Holds     int      `json:"holds"`
-	Committed int      `json:"committed"`
-	Counters  Counters `json:"counters"`
+	Version    uint64   `json:"version"`
+	Nodes      int      `json:"nodes"`
+	FreeSlots  int      `json:"free_slots"`
+	FreeSpan   float64  `json:"free_span"`
+	Holds      int      `json:"holds"`
+	Committed  int      `json:"committed"`
+	JournalLen int      `json:"journal_len"`
+	Counters   Counters `json:"counters"`
 }
 
 type hold struct {
@@ -416,13 +417,14 @@ func (inv *Inventory) Status() Status {
 	defer inv.mu.Unlock()
 	snap := inv.snap.Load()
 	return Status{
-		Version:   snap.Version,
-		Nodes:     len(inv.base),
-		FreeSlots: len(snap.Slots),
-		FreeSpan:  snap.Slots.TotalSpan(),
-		Holds:     len(inv.holds),
-		Committed: len(inv.committed),
-		Counters:  inv.counters,
+		Version:    snap.Version,
+		Nodes:      len(inv.base),
+		FreeSlots:  len(snap.Slots),
+		FreeSpan:   snap.Slots.TotalSpan(),
+		Holds:      len(inv.holds),
+		Committed:  len(inv.committed),
+		JournalLen: len(inv.journal),
+		Counters:   inv.counters,
 	}
 }
 

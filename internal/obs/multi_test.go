@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// logCollector records every event it receives as "id:event" strings into
+// a shared log, so fan-out order across Multi elements is observable.
+type logCollector struct {
+	id  string
+	log *[]string
+}
+
+func (l logCollector) ScanDone(ScanStats)     { *l.log = append(*l.log, l.id+":scan") }
+func (l logCollector) SelectDone(SelectStats) { *l.log = append(*l.log, l.id+":select") }
+func (l logCollector) BatchDone(BatchStats)   { *l.log = append(*l.log, l.id+":batch") }
+func (l logCollector) Span(Span)              { *l.log = append(*l.log, l.id+":span") }
+
+// TestMultiFanOutOrdering: every event type reaches each element in slice
+// order. Order matters — a Stats element ahead of a Trace element means a
+// span's counters are aggregated before the timeline records it, and
+// collectors built on that assumption must not be reshuffled.
+func TestMultiFanOutOrdering(t *testing.T) {
+	var log []string
+	m := Multi{
+		logCollector{"a", &log},
+		logCollector{"b", &log},
+		logCollector{"c", &log},
+	}
+	m.ScanDone(ScanStats{})
+	m.SelectDone(SelectStats{})
+	m.BatchDone(BatchStats{})
+	m.Span(Span{})
+
+	want := []string{
+		"a:scan", "b:scan", "c:scan",
+		"a:select", "b:select", "c:select",
+		"a:batch", "b:batch", "c:batch",
+		"a:span", "b:span", "c:span",
+	}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Errorf("fan-out order:\n got %v\nwant %v", log, want)
+	}
+}
+
+// TestCombineSkipsNils: interleaved nils vanish and the survivors keep
+// their relative order.
+func TestCombineSkipsNils(t *testing.T) {
+	var log []string
+	a := logCollector{"a", &log}
+	b := logCollector{"b", &log}
+	got := Combine(nil, a, nil, b, nil)
+	m, ok := got.(Multi)
+	if !ok || len(m) != 2 {
+		t.Fatalf("Combine(nil,a,nil,b,nil) = %T of len %d, want Multi of 2", got, len(m))
+	}
+	m.Span(Span{})
+	if fmt.Sprint(log) != fmt.Sprint([]string{"a:span", "b:span"}) {
+		t.Errorf("survivor order: %v", log)
+	}
+	// A typed-nil pointer inside an interface is NOT skipped (it is not
+	// the nil interface); Combine's contract is interface-nil only. Pin
+	// that boundary so callers don't grow to depend on the opposite.
+	var st *Stats
+	if got := Combine(Collector(st)); got == nil {
+		t.Error("typed nil was treated as interface nil")
+	}
+}
+
+// TestNopAndMultiDispatchAllocs is the satellite's allocation gate: the
+// Nop collector and a warm Multi fan-out must dispatch every event type
+// without heap allocation — these sit on the scan hot path, where one
+// alloc per event would show up in the kernel budgets.
+func TestNopAndMultiDispatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	scan := ScanStats{Slots: 64, Matched: 32, Candidates: 16, Visits: 8}
+	sel := SelectStats{Alg: "AMP", Found: true}
+	batch := BatchStats{Jobs: 4}
+	span := Span{Name: "scan", Cat: "scan"}
+
+	var nop Nop
+	if n := testing.AllocsPerRun(200, func() {
+		nop.ScanDone(scan)
+		nop.SelectDone(sel)
+		nop.BatchDone(batch)
+		nop.Span(span)
+	}); n != 0 {
+		t.Errorf("Nop dispatch: %v allocs/run, want 0", n)
+	}
+
+	m := Multi{Nop{}, Nop{}, Nop{}}
+	if n := testing.AllocsPerRun(200, func() {
+		m.ScanDone(scan)
+		m.SelectDone(sel)
+		m.BatchDone(batch)
+		m.Span(span)
+	}); n != 0 {
+		t.Errorf("Multi-of-Nop dispatch: %v allocs/run, want 0", n)
+	}
+
+	// The nil-collector guard used by every emitting package: checking and
+	// skipping must be free.
+	var nilCol Collector
+	if n := testing.AllocsPerRun(200, func() {
+		if nilCol != nil {
+			nilCol.ScanDone(scan)
+		}
+	}); n != 0 {
+		t.Errorf("nil-collector guard: %v allocs/run, want 0", n)
+	}
+}

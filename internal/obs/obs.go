@@ -156,6 +156,13 @@ type Span struct {
 
 	// Arg is an optional human-readable detail ("alts=7").
 	Arg string
+
+	// Trace is an optional correlation ID. The HTTP server stamps each
+	// request span with the same trace ID it returns in the X-Trace-Id
+	// response header and writes to the structured request log, so a span
+	// in a trace export, a log line and a client-observed response are
+	// joinable on one key. Empty for spans with no request context.
+	Trace string
 }
 
 // Collector receives instrumentation events. Implementations must be safe

@@ -1,0 +1,6 @@
+//go:build !race
+
+package obs
+
+// raceEnabled mirrors testkit.RaceEnabled; see race_on_test.go.
+const raceEnabled = false

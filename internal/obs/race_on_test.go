@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled mirrors testkit.RaceEnabled (which cannot be imported here:
+// testkit depends on core, which depends on obs). The allocation gates
+// skip under the race detector; see testkit/race_on.go for why.
+const raceEnabled = true

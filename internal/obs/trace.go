@@ -115,8 +115,14 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			Pid:  1,
 			Tid:  sp.Tid,
 		}
-		if sp.Arg != "" {
-			ev.Args = map[string]string{"detail": sp.Arg}
+		if sp.Arg != "" || sp.Trace != "" {
+			ev.Args = make(map[string]string, 2)
+			if sp.Arg != "" {
+				ev.Args["detail"] = sp.Arg
+			}
+			if sp.Trace != "" {
+				ev.Args["trace_id"] = sp.Trace
+			}
 		}
 		events = append(events, ev)
 	}

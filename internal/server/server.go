@@ -7,6 +7,7 @@
 //	POST /v1/release  cancel a hold
 //	GET  /v1/slots    current free slot list (persist slot-list format)
 //	GET  /v1/statusz  inventory + server status JSON
+//	GET  /metricsz    Prometheus text exposition (when Options.Metrics set)
 //
 // Request and window payloads reuse the internal/persist wire encodings,
 // so snapshots written by cmd/slotgen and windows printed by cmd/slotfind
@@ -28,6 +29,23 @@
 // while it waits in the queue is answered 503 and counted separately
 // (deadline_expired in /v1/statusz) — the client did nothing wrong and the
 // request was never shed, the server was just too slow for its deadline.
+//
+// # Telemetry
+//
+// Every response carries an X-Trace-Id header with a fresh 16-hex trace ID.
+// The same ID appears on the request's obs span and — when
+// Options.RequestLog is set — in the structured JSON log line, so traces,
+// logs and client observations join on one key.
+//
+// With Options.Metrics set, the server registers its metric families on
+// the registry and serves the Prometheus text exposition at GET /metricsz:
+// per-endpoint/per-status request counters and latency histograms, an
+// admission queue-wait histogram, the admission counters (sampled from the
+// very atomics /v1/statusz reports, so the two views cannot disagree), and
+// inventory gauges sampled from inventory.Status at scrape time. /metricsz
+// itself passes through the admission gate and is therefore self-counted;
+// monitors diffing two scrapes should scrape in a fixed order so their own
+// requests cancel out of every counter delta (internal/slotlab does this).
 package server
 
 import (
@@ -49,6 +67,8 @@ import (
 	"slotsel/internal/inventory"
 	"slotsel/internal/obs"
 	"slotsel/internal/persist"
+	"slotsel/internal/telemetry"
+	"slotsel/internal/telemetry/reqlog"
 )
 
 // Options configures the HTTP front-end. The zero value gets sensible
@@ -67,6 +87,15 @@ type Options struct {
 
 	// Collector receives one "http" span per admitted request. nil = off.
 	Collector obs.Collector
+
+	// Metrics, when non-nil, receives the server's metric families and is
+	// served as a Prometheus text exposition at GET /metricsz. nil = no
+	// metrics and no /metricsz route (404).
+	Metrics *telemetry.Registry
+
+	// RequestLog, when non-nil, receives one structured JSON line per
+	// request (including shed and deadline-expired ones). nil = off.
+	RequestLog *reqlog.Logger
 }
 
 // Server is the HTTP handler over one Inventory.
@@ -92,10 +121,105 @@ type Server struct {
 	// (queue full, answered 429).
 	deadlineExpired atomic.Uint64
 
+	// mx holds the request-scoped metric instruments; nil when
+	// Options.Metrics is unset (metrics off).
+	mx *serverMetrics
+
 	// testHook, when set, runs inside the admission-guarded section of
 	// every request — the seam the overload tests use to keep handlers
 	// busy deterministically.
 	testHook func()
+}
+
+// serverMetrics are the per-request instruments updated on the serving
+// path. The cumulative admission counters and the inventory view are
+// sampled at scrape time instead (see registerMetrics) — sampling the same
+// atomics /v1/statusz reads is what makes the two views agree exactly.
+type serverMetrics struct {
+	// requests counts finished requests by normalized path and status.
+	requests *telemetry.CounterVec
+
+	// latency is the handler wall time of admitted requests by path.
+	latency *telemetry.HistogramVec
+
+	// queueWait is the admission-queue wait of admitted requests.
+	queueWait *telemetry.Histogram
+}
+
+// registerMetrics registers the server families on reg. Counters that back
+// /v1/statusz fields are sampled from the identical atomics; inventory
+// gauges are sampled from inventory.Status at scrape time.
+func (s *Server) registerMetrics(reg *telemetry.Registry) *serverMetrics {
+	m := &serverMetrics{
+		requests: reg.CounterVec("slotserve_http_requests_total",
+			"Finished HTTP requests by endpoint and status (shed and expired included).", "path", "status"),
+		latency: reg.HistogramVec("slotserve_request_duration_seconds",
+			"Handler wall time of admitted requests by endpoint.",
+			telemetry.LatencyBucketsSeconds(), "path"),
+		queueWait: reg.Histogram("slotserve_queue_wait_seconds",
+			"Admission-queue wait of admitted requests.",
+			telemetry.LatencyBucketsSeconds()),
+	}
+	reg.SampledCounter("slotserve_requests_total",
+		"Requests received, including shed ones (statusz server.requests).",
+		func() float64 { return float64(s.requests.Load()) })
+	reg.SampledCounter("slotserve_completed_total",
+		"Admitted requests whose handler finished (statusz server.completed).",
+		func() float64 { return float64(s.completed.Load()) })
+	reg.SampledCounter("slotserve_shed_total",
+		"Requests shed with 429 because the admission queue was full.",
+		func() float64 { return float64(s.shed.Load()) })
+	reg.SampledCounter("slotserve_deadline_expired_total",
+		"Requests answered 503 because their deadline expired while queued.",
+		func() float64 { return float64(s.deadlineExpired.Load()) })
+	reg.SampledGauge("slotserve_inflight",
+		"Requests currently executing.",
+		func() float64 { return float64(len(s.inflight)) })
+	reg.SampledGauge("slotserve_queued",
+		"Requests currently waiting in the admission queue.",
+		func() float64 { return float64(s.queued.Load()) })
+
+	inv := s.inv
+	reg.SampledGauge("slotsel_inventory_free_slots",
+		"Free slots in the published snapshot.",
+		func() float64 { return float64(inv.Status().FreeSlots) })
+	reg.SampledGauge("slotsel_inventory_free_span",
+		"Total time span of the free slots.",
+		func() float64 { return inv.Status().FreeSpan })
+	reg.SampledGauge("slotsel_inventory_holds",
+		"Live TTL'd reservations.",
+		func() float64 { return float64(inv.Status().Holds) })
+	reg.SampledGauge("slotsel_inventory_committed",
+		"Permanent allocations.",
+		func() float64 { return float64(inv.Status().Committed) })
+	reg.SampledGauge("slotsel_inventory_nodes",
+		"Nodes with registered capacity.",
+		func() float64 { return float64(inv.Status().Nodes) })
+	reg.SampledGauge("slotsel_inventory_snapshot_version",
+		"Version of the published free-list snapshot.",
+		func() float64 { return float64(inv.Status().Version) })
+	reg.SampledGauge("slotsel_inventory_journal_len",
+		"Events retained in the inventory journal.",
+		func() float64 { return float64(inv.Status().JournalLen) })
+	reg.SampledCounter("slotsel_inventory_reserves_total",
+		"Accepted holds.",
+		func() float64 { return float64(inv.Status().Counters.Reserves) })
+	reg.SampledCounter("slotsel_inventory_conflicts_total",
+		"Reserves rejected by re-validation.",
+		func() float64 { return float64(inv.Status().Counters.Conflicts) })
+	reg.SampledCounter("slotsel_inventory_no_window_total",
+		"Reserve searches that found no feasible window.",
+		func() float64 { return float64(inv.Status().Counters.NoWindow) })
+	reg.SampledCounter("slotsel_inventory_commits_total",
+		"Holds made permanent.",
+		func() float64 { return float64(inv.Status().Counters.Commits) })
+	reg.SampledCounter("slotsel_inventory_releases_total",
+		"Holds released by the caller.",
+		func() float64 { return float64(inv.Status().Counters.Releases) })
+	reg.SampledCounter("slotsel_inventory_expiries_total",
+		"Holds swept after their TTL lapsed.",
+		func() float64 { return float64(inv.Status().Counters.Expiries) })
+	return m
 }
 
 // New builds the handler. The inventory must be non-nil.
@@ -125,26 +249,59 @@ func New(inv *inventory.Inventory, opts Options) *Server {
 	s.mux.HandleFunc("/v1/release", s.post(s.handleRelease))
 	s.mux.HandleFunc("/v1/slots", s.get(s.handleSlots))
 	s.mux.HandleFunc("/v1/statusz", s.get(s.handleStatusz))
+	if opts.Metrics != nil {
+		s.mx = s.registerMetrics(opts.Metrics)
+		s.mux.HandleFunc("/metricsz", s.get(opts.Metrics.Handler().ServeHTTP))
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler: admission gate, deadline, metrics,
-// then dispatch.
+// reqInfoKey carries the per-request annotation slot through the handler
+// context; handlers fill it (decodeSearch records the algorithm name) and
+// ServeHTTP reads it back for the request log line.
+type reqInfoKey struct{}
+
+type reqInfo struct {
+	// alg is the selection algorithm or CSA criterion the request named
+	// ("amp", "csa:cost"); empty for non-search endpoints.
+	alg string
+}
+
+// annotateAlg records the request's algorithm name for the log line; a
+// request without the annotation slot (logging off) is a no-op.
+func annotateAlg(ctx context.Context, name string) {
+	if info, _ := ctx.Value(reqInfoKey{}).(*reqInfo); info != nil {
+		info.alg = name
+	}
+}
+
+// ServeHTTP implements http.Handler: trace ID, admission gate, deadline,
+// dispatch, then telemetry (span, metrics, request log).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	trace := reqlog.NewTraceID()
+	w.Header().Set("X-Trace-Id", trace)
+	arrive := obs.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
+	var info reqInfo
+	if s.opts.RequestLog != nil {
+		ctx = context.WithValue(ctx, reqInfoKey{}, &info)
+	}
 	switch s.admit(ctx) {
 	case admitShed:
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+		s.finish(r, trace, http.StatusTooManyRequests, obs.Now()-arrive, 0, false, "")
 		return
 	case admitExpired:
 		s.deadlineExpired.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "request deadline expired while queued")
+		s.finish(r, trace, http.StatusServiceUnavailable, obs.Now()-arrive, 0, false, "")
 		return
 	}
+	queueWait := obs.Now() - arrive
 	defer func() { <-s.inflight }()
 	if s.testHook != nil {
 		s.testHook()
@@ -154,22 +311,90 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// the same too-slow outcome as expiring in the queue.
 		s.deadlineExpired.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded in queue")
+		s.finish(r, trace, http.StatusServiceUnavailable, queueWait, 0, false, "")
 		return
 	}
 	begin := obs.Now()
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r.WithContext(ctx))
-	s.busyNanos.Add(uint64(obs.Now() - begin))
+	dur := obs.Now() - begin
+	s.busyNanos.Add(uint64(dur))
 	s.completed.Add(1)
 	if col := s.opts.Collector; col != nil {
 		col.Span(obs.Span{
 			Name:  "http " + r.URL.Path,
 			Cat:   "http",
 			Start: begin,
-			Dur:   obs.Now() - begin,
+			Dur:   dur,
 			Arg:   strconv.Itoa(sw.code),
+			Trace: trace,
 		})
 	}
+	s.finish(r, trace, sw.code, queueWait, dur, true, info.alg)
+}
+
+// finish records the per-request telemetry once the response is decided:
+// the path x status counter (every request, shed included), the latency and
+// queue-wait histograms (admitted requests only — rejections have no
+// handler time), and the structured log line.
+func (s *Server) finish(r *http.Request, trace string, code int, queueWait, dur time.Duration, admitted bool, alg string) {
+	if s.mx != nil {
+		path := normPath(r.URL.Path)
+		s.mx.requests.With2(path, statusLabel(code)).Inc()
+		if admitted {
+			s.mx.latency.With1(path).Observe(float64(dur) / float64(time.Second))
+			s.mx.queueWait.Observe(float64(queueWait) / float64(time.Second))
+		}
+	}
+	if s.opts.RequestLog != nil {
+		s.opts.RequestLog.Log(reqlog.Entry{
+			Time:      time.Now(),
+			TraceID:   trace,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    code,
+			QueueWait: queueWait,
+			Duration:  dur,
+			Alg:       alg,
+		})
+	}
+}
+
+// normPath maps the request path onto the bounded label set of the
+// endpoint metrics: the served routes keep their name, anything else —
+// typos, probes, scrapers guessing URLs — collapses into "other" so
+// arbitrary client input cannot grow the metric cardinality.
+func normPath(p string) string {
+	switch p {
+	case "/v1/find", "/v1/reserve", "/v1/commit", "/v1/release",
+		"/v1/slots", "/v1/statusz", "/metricsz":
+		return p
+	}
+	return "other"
+}
+
+// statusLabel renders an HTTP status as a metric label without allocating
+// for the codes the server actually emits.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusMethodNotAllowed:
+		return "405"
+	case http.StatusConflict:
+		return "409"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusTooManyRequests:
+		return "429"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(code)
 }
 
 // admitResult distinguishes the admission outcomes: the two rejection
@@ -332,6 +557,7 @@ func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (*searchBo
 			return nil, nil, false
 		}
 		in.useCSA, in.crit = true, crit
+		annotateAlg(r.Context(), "csa:"+crit.String())
 	} else {
 		name := body.Alg
 		if name == "" {
@@ -343,6 +569,7 @@ func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (*searchBo
 			return nil, nil, false
 		}
 		in.alg = alg
+		annotateAlg(r.Context(), name)
 	}
 	if body.TTLSeconds < 0 {
 		writeError(w, http.StatusBadRequest, "ttl_seconds must be >= 0")
@@ -380,12 +607,12 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if in.useCSA {
 		var alts []*core.Window
-		alts, err = csa.Search(snap.Slots, in.req, csa.Options{})
+		alts, err = csa.SearchObserved(snap.Slots, in.req, csa.Options{}, s.opts.Collector)
 		if err == nil {
 			win = csa.Best(alts, in.crit)
 		}
 	} else {
-		win, err = in.alg.Find(snap.Slots, in.req)
+		win, err = core.FindObserved(in.alg, snap.Slots, in.req, s.opts.Collector)
 	}
 	if errors.Is(err, core.ErrNoWindow) {
 		writeError(w, http.StatusNotFound, "no feasible window")

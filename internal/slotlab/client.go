@@ -14,6 +14,7 @@ import (
 	"slotsel/internal/job"
 	"slotsel/internal/metrics"
 	"slotsel/internal/persist"
+	"slotsel/internal/telemetry"
 )
 
 // Client drives one slotserve instance over real HTTP, recording every
@@ -41,20 +42,22 @@ func NewClient(base string, rec *Recorder) *Client {
 // outside this set is an invariant violation (the server answered, but
 // with a status the API does not define for that path).
 var allowedStatuses = map[string]map[int]bool{
-	opFind:    {200: true, 404: true, 429: true, 503: true},
-	opReserve: {200: true, 404: true, 409: true, 429: true, 503: true},
-	opCommit:  {200: true, 404: true, 429: true, 503: true},
-	opRelease: {200: true, 404: true, 429: true, 503: true},
-	opStatusz: {200: true, 429: true, 503: true},
+	opFind:     {200: true, 404: true, 429: true, 503: true},
+	opReserve:  {200: true, 404: true, 409: true, 429: true, 503: true},
+	opCommit:   {200: true, 404: true, 429: true, 503: true},
+	opRelease:  {200: true, 404: true, 429: true, 503: true},
+	opStatusz:  {200: true, 429: true, 503: true},
+	opMetricsz: {200: true, 429: true, 503: true},
 }
 
 // Operation names used as recorder keys and report sections.
 const (
-	opFind    = "find"
-	opReserve = "reserve"
-	opCommit  = "commit"
-	opRelease = "release"
-	opStatusz = "statusz"
+	opFind     = "find"
+	opReserve  = "reserve"
+	opCommit   = "commit"
+	opRelease  = "release"
+	opStatusz  = "statusz"
+	opMetricsz = "metricsz"
 )
 
 // ReserveResult is the parsed outcome of one reserve call.
@@ -133,6 +136,29 @@ func (c *Client) Statusz() (map[string]float64, error) {
 	return flat, nil
 }
 
+// Metricsz scrapes GET /metricsz and returns the parsed exposition keyed
+// the way telemetry.ParseExposition keys it (`name{labels}`). A malformed
+// exposition is an error: the scrape doubles as the report's
+// well-formedness gate.
+func (c *Client) Metricsz() (map[string]float64, error) {
+	start := time.Now()
+	resp, err := c.hc.Get(c.base + "/metricsz")
+	if err != nil {
+		c.rec.transportError(opMetricsz)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	c.observe(opMetricsz, resp, start)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metricsz: HTTP %d", resp.StatusCode)
+	}
+	got, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("metricsz: malformed exposition: %w", err)
+	}
+	return got, nil
+}
+
 // post issues one JSON POST, recording latency/status, and decodes a 200
 // body into out (when non-nil). Returns the status code, 0 on transport
 // failure.
@@ -199,10 +225,10 @@ func flattenNumbers(prefix string, v any, out map[string]float64) {
 type Recorder struct {
 	mu sync.Mutex
 
-	lat    map[string]*metrics.Sample    // per-op latency reservoirs (ms)
-	hist   map[string]*metrics.Histogram // per-op fixed-bucket latency histograms (ms)
-	search *metrics.Sample               // find+reserve combined: the SLO path
-	status map[string]map[int]int        // op -> status code -> count
+	lat    map[string]*metrics.Sample      // per-op latency reservoirs (ms)
+	hist   map[string]*telemetry.Histogram // per-op latency histograms (ms, shared telemetry layout)
+	search *metrics.Sample                 // find+reserve combined: the SLO path
+	status map[string]map[int]int          // op -> status code -> count
 
 	transport  map[string]int // transport failures per op
 	unexpected int            // responses outside the allowed status set
@@ -214,19 +240,18 @@ type Recorder struct {
 // points have negligible rank error at the p50/p99 grain the SLOs use.
 const latReservoir = 4096
 
-// Histogram shape for the report: 40 x 25ms buckets over [0, 1s); slower
-// responses land in the overflow bucket.
-const (
-	histMaxMs   = 1000.0
-	histBuckets = 40
-)
+// The report's latency histograms use the shared telemetry bucket layout
+// (telemetry.LatencyBucketsMs: 40 x 25ms, le-inclusive, +Inf overflow) —
+// the very layout /metricsz exposes in seconds, so the harness-side and
+// server-side distributions are bucket-for-bucket comparable and the two
+// renderings cannot drift.
 
 // NewRecorder builds an empty recorder. seed fixes the reservoir
 // subsampling so identical runs retain identical samples.
 func NewRecorder(seed uint64) *Recorder {
 	return &Recorder{
 		lat:       make(map[string]*metrics.Sample),
-		hist:      make(map[string]*metrics.Histogram),
+		hist:      make(map[string]*telemetry.Histogram),
 		search:    metrics.NewReservoir(latReservoir, seed),
 		status:    make(map[string]map[int]int),
 		transport: make(map[string]int),
@@ -241,10 +266,10 @@ func (r *Recorder) observe(op string, code int, lat time.Duration, allowed bool)
 	if s == nil {
 		s = metrics.NewReservoir(latReservoir, uint64(len(r.lat))+1)
 		r.lat[op] = s
-		r.hist[op] = metrics.NewHistogram(0, histMaxMs, histBuckets)
+		r.hist[op] = telemetry.NewHistogram(telemetry.LatencyBucketsMs())
 	}
 	s.Add(ms)
-	r.hist[op].Add(ms)
+	r.hist[op].Observe(ms)
 	if op == opFind || op == opReserve {
 		r.search.Add(ms)
 	}

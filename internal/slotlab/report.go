@@ -6,15 +6,23 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 )
 
 // Report schema identifiers. Bump SchemaVersion on any breaking change to
 // the JSON shape — reports are meant to be diffed across PRs, so consumers
 // must be able to tell shapes apart.
+// Version history:
+//
+//	1  initial shape
+//	2  per-scenario "metricsz" section (scraped /metricsz counter deltas,
+//	   cross-checked against the statusz deltas by the telemetry_agreement
+//	   invariant); OpStats histograms moved to the shared telemetry bucket
+//	   layout (le-inclusive bounds, +Inf overflow).
 const (
 	ReportSchema  = "slotlab-report"
-	SchemaVersion = 1
+	SchemaVersion = 2
 )
 
 // Report is the machine-readable outcome of one slotlab run: one entry per
@@ -42,6 +50,7 @@ type ScenarioReport struct {
 	SLOs           []CheckResult      `json:"slos"`
 	Ops            map[string]OpStats `json:"ops"`
 	Statusz        StatuszDelta       `json:"statusz"`
+	Metricsz       MetricszDelta      `json:"metricsz"`
 }
 
 // OpStats summarizes one operation kind's latency and status distribution.
@@ -52,9 +61,10 @@ type OpStats struct {
 	P90Ms    float64        `json:"p90_ms"`
 	P99Ms    float64        `json:"p99_ms"`
 
-	// Histogram is the fixed-bucket latency histogram: each bucket counts
-	// responses with latency < le_ms (non-cumulative, 25ms-wide buckets
-	// over [0, 1s)); Overflow counts slower responses.
+	// Histogram is the fixed-bucket latency histogram in the shared
+	// telemetry layout (telemetry.LatencyBucketsMs): each bucket counts
+	// responses with latency <= le_ms (non-cumulative, 25ms-wide buckets
+	// over (0, 1s]); Overflow counts slower responses (the +Inf bucket).
 	Histogram []HistogramBucket `json:"latency_histogram"`
 	Overflow  int               `json:"latency_overflow"`
 }
@@ -95,6 +105,30 @@ func newStatuszDelta(before, after map[string]float64) StatuszDelta {
 	return d
 }
 
+// MetricszDelta captures the movement of every scraped /metricsz series
+// over the traffic window. Histogram bucket series are elided (the
+// per-operation sections already carry latency distributions); _sum and
+// _count series stay. Keys are exposition keys: `name{labels}`.
+type MetricszDelta struct {
+	Deltas map[string]float64 `json:"series_deltas"`
+}
+
+// newMetricszDelta diffs two parsed scrapes, keeping only series that
+// moved. Bucket series are dropped to keep reports diffable; everything
+// else — counters, gauges, histogram sums/counts — is retained.
+func newMetricszDelta(before, after map[string]float64) MetricszDelta {
+	d := MetricszDelta{Deltas: make(map[string]float64)}
+	for k, av := range after {
+		if strings.Contains(k, "_bucket{") {
+			continue
+		}
+		if diff := av - before[k]; diff != 0 {
+			d.Deltas[k] = diff
+		}
+	}
+	return d
+}
+
 // opStats renders the recorder's per-operation section.
 func (r *Recorder) opStats() map[string]OpStats {
 	r.mu.Lock()
@@ -112,11 +146,12 @@ func (r *Recorder) opStats() map[string]OpStats {
 			byStatus["transport_error"] = n
 		}
 		h := r.hist[op]
+		bounds := h.Bounds()
+		counts := h.BucketCounts()
 		var buckets []HistogramBucket
-		width := (h.Hi - h.Lo) / float64(len(h.Buckets))
-		for i, c := range h.Buckets {
+		for i, c := range counts[:len(bounds)] {
 			if c > 0 {
-				buckets = append(buckets, HistogramBucket{LeMs: h.Lo + width*float64(i+1), Count: c})
+				buckets = append(buckets, HistogramBucket{LeMs: bounds[i], Count: int(c)})
 			}
 		}
 		out[op] = OpStats{
@@ -126,7 +161,7 @@ func (r *Recorder) opStats() map[string]OpStats {
 			P90Ms:     round2(s.Quantile(0.90)),
 			P99Ms:     round2(s.Quantile(0.99)),
 			Histogram: buckets,
-			Overflow:  h.Over,
+			Overflow:  int(counts[len(bounds)]),
 		}
 	}
 	return out

@@ -23,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"slotsel/internal/inventory"
 	"slotsel/internal/randx"
 	"slotsel/internal/server"
+	"slotsel/internal/telemetry"
 )
 
 // Config is the run-level configuration shared by every scenario in one
@@ -113,10 +115,12 @@ func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := telemetry.NewRegistry()
 	srv := server.New(inv, server.Options{
 		MaxInflight:    params.MaxInflight,
 		QueueDepth:     params.QueueDepth,
 		RequestTimeout: params.RequestTimeout,
+		Metrics:        reg,
 	})
 
 	baseline := runtime.NumGoroutine()
@@ -134,6 +138,19 @@ func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
 	rec := NewRecorder(seed)
 	client := NewClient("http://"+ln.Addr().String(), rec)
 
+	// Telemetry scrapes bracket the traffic window in a FIXED order —
+	// metricsz, then statusz — repeated identically afterwards. The scrapes
+	// pass through the admission gate and so count themselves, but with the
+	// same ordering on both sides every monotonic counter sees the same
+	// between-samples traffic in both views, so the harness's own requests
+	// cancel exactly out of every delta (the telemetry_agreement check
+	// relies on this).
+	mBefore, err := client.Metricsz()
+	if err != nil {
+		hs.Close()
+		<-serveDone
+		return nil, err
+	}
 	before, err := client.Statusz()
 	if err != nil {
 		hs.Close()
@@ -173,8 +190,17 @@ func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
 		}
 	}()
 
+	// The background actor is awaited before the end-state reads: a churn
+	// mutation landing between the after-scrapes would break the
+	// fixed-order delta algebra above.
+	bgDone := make(chan struct{})
 	if params.Background != nil {
-		go params.Background(lab, ctx.Done())
+		go func() {
+			defer close(bgDone)
+			params.Background(lab, ctx.Done())
+		}()
+	} else {
+		close(bgDone)
 	}
 
 	var wg sync.WaitGroup
@@ -191,11 +217,19 @@ func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(lab.start)
+	<-bgDone
 	<-samplerDone
 
-	// End-state reads happen with no mutators left: statusz-after over the
-	// still-live server, then shutdown, then one final sweep so lapsed
-	// holds are journaled before the oracle snapshots everything.
+	// End-state reads happen with no mutators left: metricsz-after and
+	// statusz-after (same order as before) over the still-live server,
+	// then shutdown, then one final sweep so lapsed holds are journaled
+	// before the oracle snapshots everything.
+	mAfter, err := client.Metricsz()
+	if err != nil {
+		hs.Close()
+		<-serveDone
+		return nil, err
+	}
 	after, err := client.Statusz()
 	if err != nil {
 		hs.Close()
@@ -216,6 +250,7 @@ func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
 	peakMu.Unlock()
 
 	delta := newStatuszDelta(before, after)
+	mDelta := newMetricszDelta(mBefore, mAfter)
 	invariants := []CheckResult{
 		checkNoDoubleBooking(inv.Committed()),
 		checkReplay(inv, params.MinSlotLength),
@@ -223,6 +258,7 @@ func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
 		checkConformance(rec),
 		checkDeadlines(rec),
 		checkGoroutineBound(baseline, peakN, params.Workers, params.MaxInflight, params.QueueDepth),
+		checkTelemetryAgreement(mBefore, mAfter, before, after),
 	}
 	if sc.verify != nil {
 		invariants = append(invariants, sc.verify(lab, delta)...)
@@ -238,8 +274,49 @@ func runScenario(cfg Config, sc *Scenario) (*ScenarioReport, error) {
 		SLOs:           slos,
 		Ops:            rec.opStats(),
 		Statusz:        delta,
+		Metricsz:       mDelta,
 	}
 	return sr, nil
+}
+
+// telemetryPairs maps statusz dotted keys to their /metricsz twins — the
+// counters that are sampled from the very same atomics by both views.
+// Expiries are deliberately absent: statusz sweeps before reporting and
+// metricsz does not, so an expiry landing between the two after-reads
+// would be a false alarm, not a bug.
+var telemetryPairs = [][2]string{
+	{"server.requests", "slotserve_requests_total"},
+	{"server.completed", "slotserve_completed_total"},
+	{"server.shed", "slotserve_shed_total"},
+	{"server.deadline_expired", "slotserve_deadline_expired_total"},
+	{"inventory.counters.reserves", "slotsel_inventory_reserves_total"},
+	{"inventory.counters.conflicts", "slotsel_inventory_conflicts_total"},
+	{"inventory.counters.no_window", "slotsel_inventory_no_window_total"},
+	{"inventory.counters.commits", "slotsel_inventory_commits_total"},
+	{"inventory.counters.releases", "slotsel_inventory_releases_total"},
+}
+
+// checkTelemetryAgreement is the conformance gate over the two telemetry
+// surfaces: for every paired monotonic counter, the delta observed through
+// /metricsz must equal the delta observed through /v1/statusz. With the
+// fixed scrape order both views count the harness's own scrapes
+// identically, so any disagreement means the exposition and the JSON view
+// diverged — double-counting, a missed sample, or a metric wired to the
+// wrong atomic.
+func checkTelemetryAgreement(mBefore, mAfter, sBefore, sAfter map[string]float64) CheckResult {
+	var bad []string
+	for _, pair := range telemetryPairs {
+		sd := sAfter[pair[0]] - sBefore[pair[0]]
+		md := mAfter[pair[1]] - mBefore[pair[1]]
+		if sd != md {
+			bad = append(bad, fmt.Sprintf("%s: statusz %+g vs metricsz %+g", pair[0], sd, md))
+		}
+	}
+	if len(bad) > 0 {
+		return verdict("telemetry_agreement", false, strings.Join(bad, "; "))
+	}
+	return verdict("telemetry_agreement", true,
+		fmt.Sprintf("%d paired counter deltas agree across /metricsz and /v1/statusz", len(telemetryPairs)))
 }
 
 func allPass(checks []CheckResult) bool {

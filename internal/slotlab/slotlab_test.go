@@ -105,10 +105,31 @@ func TestReportShape(t *testing.T) {
 		t.Fatalf("scenarios = %d entries, want 1", len(scenarios))
 	}
 	first := scenarios[0].(map[string]any)
-	for _, key := range []string{"name", "pass", "invariants", "slos", "ops", "statusz"} {
+	for _, key := range []string{"name", "pass", "invariants", "slos", "ops", "statusz", "metricsz"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("scenario entry missing %q", key)
 		}
+	}
+	// The scraped metricsz deltas must show the scenario's traffic, and the
+	// agreement invariant must be part of the battery.
+	mz := first["metricsz"].(map[string]any)
+	series := mz["series_deltas"].(map[string]any)
+	if series["slotserve_requests_total"].(float64) <= 0 {
+		t.Errorf("metricsz delta missing request traffic: %v", series["slotserve_requests_total"])
+	}
+	for k := range series {
+		if strings.Contains(k, "_bucket{") {
+			t.Errorf("bucket series %q leaked into the metricsz delta section", k)
+		}
+	}
+	foundAgreement := false
+	for _, iv := range first["invariants"].([]any) {
+		if iv.(map[string]any)["name"] == "telemetry_agreement" {
+			foundAgreement = true
+		}
+	}
+	if !foundAgreement {
+		t.Error("telemetry_agreement invariant missing from the battery")
 	}
 	st := first["statusz"].(map[string]any)
 	if st["snapshot_version_after"].(float64) < st["snapshot_version_before"].(float64) {
@@ -152,6 +173,26 @@ func TestScenarioExpectationsReached(t *testing.T) {
 		if !found {
 			t.Errorf("%s: expectation check %s missing from invariants", sr.Name, name)
 		}
+	}
+}
+
+// TestTelemetryAgreementCheck exercises the gate directly: equal paired
+// deltas pass, a divergent pair fails and names itself.
+func TestTelemetryAgreementCheck(t *testing.T) {
+	sBefore := map[string]float64{"server.requests": 10, "server.shed": 2}
+	sAfter := map[string]float64{"server.requests": 25, "server.shed": 5}
+	mBefore := map[string]float64{"slotserve_requests_total": 11, "slotserve_shed_total": 2}
+	mAfter := map[string]float64{"slotserve_requests_total": 26, "slotserve_shed_total": 5}
+	if c := checkTelemetryAgreement(mBefore, mAfter, sBefore, sAfter); !c.Pass {
+		t.Errorf("agreeing deltas flagged: %s", c.Detail)
+	}
+	mAfter["slotserve_shed_total"] = 6 // metricsz saw one shed statusz did not
+	c := checkTelemetryAgreement(mBefore, mAfter, sBefore, sAfter)
+	if c.Pass {
+		t.Error("divergent shed deltas not flagged")
+	}
+	if !strings.Contains(c.Detail, "server.shed") {
+		t.Errorf("failure detail does not name the divergent pair: %s", c.Detail)
 	}
 }
 

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition reads a Prometheus text exposition stream and returns
+// its samples keyed by series identity — the metric name plus its
+// normalized label block, e.g.
+//
+//	slotsel_http_requests_total{path="/v1/find",status="200"}
+//
+// Labels are re-rendered sorted by name so the key is stable regardless of
+// emission order. Malformed lines (bad name grammar, unbalanced label
+// block, non-numeric value) are errors: the parser doubles as the
+// well-formedness check the slotlab conformance gate and the CI scrape
+// assert.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample splits one sample line into its normalized series key and
+// value. Grammar: name[{label="value",...}] value [timestamp].
+func parseSample(line string) (string, float64, error) {
+	name := line
+	labels := ""
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("unbalanced label block in %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", 0, fmt.Errorf("missing value in %q", line)
+		}
+		name, rest = fields[0], strings.Join(fields[1:], " ")
+	}
+	if !validName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	norm, err := normalizeLabels(labels)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w in %q", err, line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("expected value [timestamp] after series in %q", line)
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q", fields[0])
+	}
+	return name + norm, val, nil
+}
+
+// normalizeLabels parses a label block body (without braces) and renders
+// it back sorted by label name. An empty body yields an empty string.
+func normalizeLabels(body string) (string, error) {
+	body = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(body), ","))
+	if body == "" {
+		return "", nil
+	}
+	type pair struct{ name, value string }
+	var pairs []pair
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("missing '=' in label block")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", fmt.Errorf("label value must be quoted")
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		var val strings.Builder
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(c)
+					val.WriteByte(rest[i+1])
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return "", fmt.Errorf("unterminated label value")
+		}
+		pairs = append(pairs, pair{name, val.String()})
+		rest = strings.TrimSpace(rest[i+1:])
+		if rest != "" {
+			if rest[0] != ',' {
+				return "", fmt.Errorf("expected ',' between labels")
+			}
+			rest = strings.TrimSpace(rest[1:])
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String(), nil
+}

@@ -1,0 +1,147 @@
+// Package reqlog emits structured request logs: one self-contained JSON
+// line per HTTP request, carrying the trace ID that the server also returns
+// in the X-Trace-Id response header and attaches to the request's obs span.
+// The shared ID is the correlation key of the telemetry tentpole: given a
+// slow span in a trace export, grep the log for its trace_id and the full
+// request context (method, path, status, queue wait, algorithm) is one line
+// away — and vice versa.
+//
+// The encoder is hand-rolled rather than encoding/json: field order is
+// fixed (logs diff and grep cleanly), the per-entry buffer is reused, and
+// the package stays inside the repo's zero-dependency rule. Lines are
+// written with a single w.Write call under a mutex, so concurrent handlers
+// never interleave bytes within a line.
+package reqlog
+
+import (
+	"io"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Entry is one request record. Durations are reported in milliseconds with
+// microsecond resolution — the scale queue waits and handler latencies
+// actually live at.
+type Entry struct {
+	// Time is the wall-clock completion time of the request.
+	Time time.Time
+
+	// TraceID is the request's trace ID (see NewTraceID). The server sends
+	// the same value in the X-Trace-Id response header and on the request's
+	// obs span.
+	TraceID string
+
+	// Method and Path identify the endpoint.
+	Method string
+	Path   string
+
+	// Status is the HTTP status code sent to the client.
+	Status int
+
+	// QueueWait is the time spent in the admission queue before the
+	// handler ran (zero when an execution slot was free immediately, and
+	// for shed requests the time until the shed decision).
+	QueueWait time.Duration
+
+	// Duration is the handler wall time (zero for shed and
+	// deadline-expired requests — no handler ran).
+	Duration time.Duration
+
+	// Alg is the selection algorithm or CSA criterion the request named,
+	// when the endpoint has one ("amp", "csa:cost", ...). Empty for
+	// non-search endpoints; omitted from the line when empty.
+	Alg string
+}
+
+// Logger serializes entries as JSON lines onto one writer.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+// New returns a Logger writing to w. A nil writer yields a nil Logger,
+// which is the universal "logging off" value: every method on a nil Logger
+// is a no-op, mirroring the nil-Collector convention of the obs layer.
+func New(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log writes one entry as a single JSON line. Safe for concurrent use; a
+// nil receiver is a no-op.
+func (l *Logger) Log(e Entry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buf[:0]
+	b = append(b, `{"ts":"`...)
+	b = e.Time.UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","trace_id":"`...)
+	b = appendEscaped(b, e.TraceID)
+	b = append(b, `","method":"`...)
+	b = appendEscaped(b, e.Method)
+	b = append(b, `","path":"`...)
+	b = appendEscaped(b, e.Path)
+	b = append(b, `","status":`...)
+	b = strconv.AppendInt(b, int64(e.Status), 10)
+	b = append(b, `,"queue_ms":`...)
+	b = appendMillis(b, e.QueueWait)
+	b = append(b, `,"dur_ms":`...)
+	b = appendMillis(b, e.Duration)
+	if e.Alg != "" {
+		b = append(b, `,"alg":"`...)
+		b = appendEscaped(b, e.Alg)
+		b = append(b, '"')
+	}
+	b = append(b, '}', '\n')
+	l.buf = b
+	_, _ = l.w.Write(b)
+}
+
+// appendMillis renders a duration as milliseconds with 3 decimal places
+// (microsecond resolution).
+func appendMillis(b []byte, d time.Duration) []byte {
+	return strconv.AppendFloat(b, float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}
+
+// appendEscaped appends s as JSON string content: quotes and backslashes
+// are escaped, control characters become \u00XX. Request paths and
+// algorithm names are ASCII in practice, but the log must stay valid JSON
+// for any input.
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			const hexdigits = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hexdigits[c>>4], hexdigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// NewTraceID returns a fresh 16-hex-character trace ID. IDs come from the
+// runtime's ChaCha8 generator (math/rand/v2's global source, seeded from
+// the OS entropy pool), so they are unpredictable across processes without
+// paying a crypto/rand syscall per request.
+func NewTraceID() string {
+	var b [16]byte
+	v := rand.Uint64()
+	const hexdigits = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}

@@ -1,0 +1,143 @@
+package reqlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogLineShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.Log(Entry{
+		Time:      time.Date(2026, 8, 8, 12, 0, 0, 500000, time.UTC),
+		TraceID:   "00f1e2d3c4b5a697",
+		Method:    "POST",
+		Path:      "/v1/find",
+		Status:    200,
+		QueueWait: 1500 * time.Microsecond,
+		Duration:  2 * time.Millisecond,
+		Alg:       "amp",
+	})
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("want exactly one newline-terminated line, got %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+	}
+	for k, want := range map[string]any{
+		"ts":       "2026-08-08T12:00:00.0005Z",
+		"trace_id": "00f1e2d3c4b5a697",
+		"method":   "POST",
+		"path":     "/v1/find",
+		"status":   float64(200),
+		"queue_ms": 1.5,
+		"dur_ms":   2.0,
+		"alg":      "amp",
+	} {
+		if m[k] != want {
+			t.Errorf("%s: got %v (%T) want %v", k, m[k], m[k], want)
+		}
+	}
+	// Fixed field order: grep/diff-friendly logs.
+	if !strings.HasPrefix(line, `{"ts":`) {
+		t.Errorf("line does not start with ts field: %s", line)
+	}
+}
+
+func TestLogOmitsEmptyAlg(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.Log(Entry{Time: time.Unix(0, 0), Method: "GET", Path: "/v1/statusz", Status: 200})
+	if strings.Contains(buf.String(), `"alg"`) {
+		t.Errorf("alg should be omitted when empty: %s", buf.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestLogEscapesStrings(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.Log(Entry{Time: time.Unix(0, 0), Path: `/odd"path\` + "\x01", Method: "GET"})
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("escaped line is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got := m["path"]; got != `/odd"path\`+"\x01" {
+		t.Errorf("path round trip: got %q", got)
+	}
+}
+
+func TestNilLoggerIsOff(t *testing.T) {
+	var l *Logger
+	l.Log(Entry{}) // must not panic
+	if New(nil) != nil {
+		t.Error("New(nil) should return the nil no-op logger")
+	}
+}
+
+// TestConcurrentLogsDoNotInterleave drives the logger from many goroutines
+// and asserts every emitted line is independently valid JSON — the
+// single-Write-under-mutex guarantee.
+func TestConcurrentLogsDoNotInterleave(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := New(w)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Log(Entry{Time: time.Unix(int64(i), 0), TraceID: NewTraceID(), Method: "POST", Path: "/v1/find", Status: 200, Alg: "amp"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 1600 {
+		t.Fatalf("got %d lines, want 1600", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved or corrupt line: %v\n%s", err, line)
+		}
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestNewTraceID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q: want 16 hex chars", id)
+		}
+		for _, c := range id {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				t.Fatalf("trace ID %q contains non-hex %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+}
