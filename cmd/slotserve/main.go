@@ -7,6 +7,8 @@
 //
 //	slotserve -slots FILE [-addr HOST:PORT] [-workers N] [-queue N]
 //	          [-ttl D] [-timeout D] [-min-slot-length L]
+//	          [-data-dir DIR] [-snapshot-interval D] [-snapshot-every N]
+//	          [-follow DIR] [-poll D]
 //	          [-log-format json|off]
 //	          [-stats] [-trace FILE] [-pprof ADDR]
 //
@@ -15,6 +17,24 @@
 //
 //	slotgen -nodes 50 -seed 7 -o env.json
 //	slotserve -addr localhost:8080 -slots env.json
+//
+// # Durability and followers
+//
+// With -data-dir the inventory is durable: every acknowledged mutation is
+// fsync'd to a write-ahead log in DIR before the HTTP response is sent,
+// periodic snapshots compact the log, and a restart (or crash) recovers
+// the exact committed state — -slots is then only needed the first time,
+// to seed an empty directory. On SIGTERM the server drains, writes a
+// final snapshot, and closes the log cleanly.
+//
+// With -follow the process is a read-only replica instead: it tails
+// another slotserve's -data-dir (same host or shared filesystem), applies
+// the leader's journal every -poll interval, and serves /v1/find,
+// /v1/slots, /v1/statusz and /metricsz from the replicated state; the
+// mutating endpoints answer 403.
+//
+//	slotserve -addr :8080 -slots env.json -data-dir /var/lib/slotserve
+//	slotserve -addr :8081 -follow /var/lib/slotserve
 //
 // Then drive it with curl (see the README's "Running as a service"):
 //

@@ -88,6 +88,8 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 		benchfmt  = fs.Bool("benchfmt", false, "emit Go benchmark lines (benchstat/-gate input) instead of JSON, one line per repetition")
 		gate      = fs.Bool("gate", false, "compare two -benchfmt files: slotbench -gate baseline.txt current.txt; non-zero exit on significant regression")
 		regress   = fs.Float64("regress", 10, "gate threshold: fail on a significant regression past this `percent`")
+		accum     = fs.String("accum", "", "append a trajectory entry to this dashboard `file` (results/data.js) from the input files given as args (-benchfmt text or BENCH_*.json), or from a fresh grid run when none")
+		label     = fs.String("label", "", "trajectory entry label for -accum (default: derived from the input, or \"local\")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -115,6 +117,9 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 	}
 	if *benchfmt {
 		return benchFmt(stdout, stderr, *outPath, *seed, *iters, nodeCounts, taskCounts)
+	}
+	if *accum != "" {
+		return benchAccum(stdout, stderr, *accum, *label, fs.Args(), *seed, *iters, nodeCounts, taskCounts)
 	}
 
 	ops, err := benchOpsGrid(*seed, nodeCounts, taskCounts)
@@ -196,13 +201,13 @@ func benchOpsGrid(seed uint64, nodeCounts, taskCounts []int) ([]benchOp, error) 
 					{"incremental", func() { _, _ = sc.FindObserved(alg, list, &r1, nil) }},
 					{"oracle", func() { _, _ = oracle.Find(list, &r2) }},
 				} {
+					meta := benchResult{
+						Bench: "find", Alg: alg.Name(), Kernel: run.kernel,
+						Nodes: nc, Slots: len(list), Tasks: tasks,
+					}
 					ops = append(ops, benchOp{
-						name: fmt.Sprintf("BenchmarkFind/alg=%s/kernel=%s/nodes=%d/tasks=%d",
-							alg.Name(), run.kernel, nc, tasks),
-						meta: benchResult{
-							Bench: "find", Alg: alg.Name(), Kernel: run.kernel,
-							Nodes: nc, Slots: len(list), Tasks: tasks,
-						},
+						name:        benchName(meta),
+						meta:        meta,
 						allocRounds: findAllocRounds,
 						op:          run.op,
 					})
@@ -214,9 +219,10 @@ func benchOpsGrid(seed uint64, nodeCounts, taskCounts []int) ([]benchOp, error) 
 			// scanner internally, so this times the shipped clone-free loop.
 			r := req
 			tasks := tasks
+			csaMeta := benchResult{Bench: "csa", Nodes: nc, Slots: len(list), Tasks: tasks}
 			ops = append(ops, benchOp{
-				name:        fmt.Sprintf("BenchmarkCSA/nodes=%d/tasks=%d", nc, tasks),
-				meta:        benchResult{Bench: "csa", Nodes: nc, Slots: len(list), Tasks: tasks},
+				name:        benchName(csaMeta),
+				meta:        csaMeta,
 				allocRounds: csaAllocRounds,
 				op: func() {
 					_, _ = csa.Search(list, &r, csa.Options{MaxAlternatives: 10, MinSlotLength: 10})
@@ -227,9 +233,10 @@ func benchOpsGrid(seed uint64, nodeCounts, taskCounts []int) ([]benchOp, error) 
 		// Two-stage batch scheduling over a random batch: stage-1 CSA per
 		// job plus the stage-2 selection DP.
 		const batchJobs = 8
+		batchMeta := benchResult{Bench: "batch", Nodes: nc, Slots: len(list), Jobs: batchJobs}
 		ops = append(ops, benchOp{
-			name:        fmt.Sprintf("BenchmarkBatch/nodes=%d/jobs=%d", nc, batchJobs),
-			meta:        benchResult{Bench: "batch", Nodes: nc, Slots: len(list), Jobs: batchJobs},
+			name:        benchName(batchMeta),
+			meta:        batchMeta,
 			allocRounds: batchAllocRounds,
 			op: func() {
 				batch := testkit.RandomBatch(randx.New(seed), batchJobs)

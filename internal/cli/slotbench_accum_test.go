@@ -1,0 +1,92 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSlotbenchAccum covers the trajectory accumulator: benchfmt text and
+// BENCH_*.json inputs both become labeled entries, medians summarize the
+// repetitions, re-accumulating a label replaces its entry, and the file
+// round-trips through the loader.
+func TestSlotbenchAccum(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.js")
+
+	bench := filepath.Join(dir, "run.txt")
+	lines := `goos: linux
+goarch: amd64
+BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=2	100	300 ns/op	0 B/op	0.00 allocs/op
+BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=2	100	100 ns/op	0 B/op	0.00 allocs/op
+BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=2	100	200 ns/op	0 B/op	0.00 allocs/op
+BenchmarkCSA/nodes=16/tasks=2	10	5000 ns/op	128 B/op	3.00 allocs/op
+`
+	if err := os.WriteFile(bench, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runSlotbench(t, "-accum", data, "-label", "pr-a", bench); code != 0 {
+		t.Fatalf("accum text: exit %d, stderr %q", code, stderr)
+	}
+
+	snap := filepath.Join(dir, "BENCH_9.json")
+	file := benchFile{Issue: 9, Seed: 1, Results: []benchResult{
+		{Bench: "csa", Nodes: 16, Slots: 40, Tasks: 2, NsPerOp: 4500, Iters: 5, AllocsPerOp: 3, BytesPerOp: 128},
+	}}
+	raw, _ := json.Marshal(file)
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runSlotbench(t, "-accum", data, snap); code != 0 {
+		t.Fatalf("accum json: exit %d, stderr %q", code, stderr)
+	}
+
+	entries, err := loadTrajectory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Label != "pr-a" || entries[1].Label != "issue-9" {
+		t.Fatalf("entries = %+v, want [pr-a issue-9]", entries)
+	}
+	var find, csaPoint *trajPoint
+	for i := range entries[0].Results {
+		p := &entries[0].Results[i]
+		if strings.HasPrefix(p.Name, "BenchmarkFind") {
+			find = p
+		}
+		if strings.HasPrefix(p.Name, "BenchmarkCSA") {
+			csaPoint = p
+		}
+	}
+	if find == nil || find.NsPerOp != 200 {
+		t.Fatalf("median of {300,100,200} = %+v, want 200", find)
+	}
+	if csaPoint == nil || csaPoint.AllocsPerOp != 3 || csaPoint.BytesPerOp != 128 {
+		t.Fatalf("csa point = %+v", csaPoint)
+	}
+	if got := entries[1].Results[0].Name; got != "BenchmarkCSA/nodes=16/tasks=2" {
+		t.Fatalf("json input name = %q (benchName drifted from the benchfmt grid?)", got)
+	}
+
+	// Same label again: replaced, not duplicated.
+	if code, stdout, _ := runSlotbench(t, "-accum", data, "-label", "pr-a", bench); code != 0 || !strings.Contains(stdout, "replaced") {
+		t.Fatalf("re-accum: exit %d, stdout %q", code, stdout)
+	}
+	entries, err = loadTrajectory(data)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("after re-accum: %d entries (%v)", len(entries), err)
+	}
+
+	// The file itself is a loadable script: a single assignment ending in
+	// a semicolon, with the payload valid JSON.
+	raw, err = os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, "window.SLOTBENCH_TRAJECTORY = ") || !strings.HasSuffix(strings.TrimSpace(s), ";") {
+		t.Fatalf("data.js is not a script-global assignment:\n%.200s", s)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"slotsel/internal/slots"
 	"slotsel/internal/telemetry"
 	"slotsel/internal/telemetry/reqlog"
+	"slotsel/internal/wal"
 )
 
 // slotserveTestHook, when set by a test, receives the bound address and a
@@ -33,28 +34,31 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", "localhost:8080", "listen `address`")
-		slotFile = fs.String("slots", "", "slot `file`: a cmd/slotgen environment snapshot or a bare slot list (required)")
+		slotFile = fs.String("slots", "", "slot `file`: a cmd/slotgen environment snapshot or a bare slot list")
 		workers  = fs.Int("workers", 32, "max concurrently executing requests")
 		queue    = fs.Int("queue", 64, "max requests waiting for a worker before shedding with 429")
 		ttl      = fs.Duration("ttl", 30*time.Second, "default reservation hold lifetime")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request deadline")
 		minLen   = fs.Float64("min-slot-length", 0, "drop free fragments shorter than this")
 		logFmt   = fs.String("log-format", "off", "request log `format`: json (one line per request on stdout) or off")
+		dataDir  = fs.String("data-dir", "", "WAL `directory`: fsync every mutation and recover state across restarts")
+		snapIvl  = fs.Duration("snapshot-interval", time.Minute, "minimum time between periodic snapshots (with -data-dir)")
+		snapEvts = fs.Uint64("snapshot-every", 4096, "also snapshot once this many events accumulate since the last one; 0 = time-based only (with -data-dir)")
+		follow   = fs.String("follow", "", "tail this WAL `directory` as a read-only follower (excludes -slots and -data-dir)")
+		poll     = fs.Duration("poll", 200*time.Millisecond, "follower poll interval (with -follow)")
 	)
 	obsF := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *slotFile == "" {
-		fmt.Fprintln(stderr, "slotserve: -slots is required")
-		fs.Usage()
+	if *follow != "" && (*slotFile != "" || *dataDir != "") {
+		fmt.Fprintln(stderr, "slotserve: -follow excludes -slots and -data-dir (a follower's state comes from the leader's log)")
 		return 2
 	}
-
-	list, err := loadSlotFile(*slotFile)
-	if err != nil {
-		fmt.Fprintln(stderr, "slotserve:", err)
-		return 1
+	if *follow == "" && *slotFile == "" && *dataDir == "" {
+		fmt.Fprintln(stderr, "slotserve: -slots is required (or -data-dir to recover, or -follow to replicate)")
+		fs.Usage()
+		return 2
 	}
 
 	var reqLog *reqlog.Logger
@@ -84,23 +88,86 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 	reg := telemetry.NewRegistry()
 	col = obs.Combine(col, telemetry.NewCollector(reg))
 
-	inv, err := inventory.New(list, inventory.Options{
+	invOpts := inventory.Options{
 		MinSlotLength: *minLen,
 		DefaultTTL:    *ttl,
 		Collector:     col,
-	})
-	if err != nil {
-		fmt.Fprintln(stderr, "slotserve:", err)
-		return 1
 	}
-	handler := server.New(inv, server.Options{
+	srvOpts := server.Options{
 		MaxInflight:    *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		Collector:      col,
 		Metrics:        reg,
 		RequestLog:     reqLog,
-	})
+	}
+
+	var inv *inventory.Inventory
+	var store *wal.Store
+	var flwr *wal.Follower
+	switch {
+	case *follow != "":
+		flwr, err = wal.NewFollower(*follow, invOpts)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotserve:", err)
+			return 1
+		}
+		inv = flwr.Inventory()
+		srvOpts.ReadOnly = true
+		srvOpts.Follower = flwr
+		fmt.Fprintf(stderr, "slotserve: read-only follower of %s (applied seq %d)\n", *follow, flwr.LastSeq())
+
+	case *dataDir != "":
+		walOpts := wal.Options{OnFsync: server.FsyncHistogram(reg)}
+		recovered, st, res, err := wal.Open(*dataDir, invOpts, walOpts)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotserve:", err)
+			return 1
+		}
+		store = st
+		srvOpts.WAL = st
+		if recovered != nil {
+			inv = recovered
+			if *slotFile != "" {
+				fmt.Fprintf(stderr, "slotserve: %s already holds state; -slots %s ignored (recovered state wins)\n", *dataDir, *slotFile)
+			}
+			fmt.Fprintf(stderr, "slotserve: recovered seq %d from %s (%d events replayed, torn tail truncated: %v)\n",
+				res.LastSeq, *dataDir, len(res.Events), res.Truncated)
+		} else {
+			if *slotFile == "" {
+				store.Close()
+				fmt.Fprintf(stderr, "slotserve: %s is empty; -slots is required to seed a fresh durable inventory\n", *dataDir)
+				return 2
+			}
+			list, err := loadSlotFile(*slotFile)
+			if err != nil {
+				store.Close()
+				fmt.Fprintln(stderr, "slotserve:", err)
+				return 1
+			}
+			seedOpts := invOpts
+			seedOpts.Sink = store
+			inv, err = inventory.New(list, seedOpts)
+			if err != nil {
+				store.Close()
+				fmt.Fprintln(stderr, "slotserve:", err)
+				return 1
+			}
+		}
+
+	default:
+		list, err := loadSlotFile(*slotFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotserve:", err)
+			return 1
+		}
+		inv, err = inventory.New(list, invOpts)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotserve:", err)
+			return 1
+		}
+	}
+	handler := server.New(inv, srvOpts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,6 +176,25 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "slotserve: %d free slots loaded, listening on http://%s\n",
 		len(inv.Snapshot().Slots), ln.Addr())
+
+	// Background upkeep: the leader's snapshotter, or the follower's
+	// poller. Stopped (and drained) before the WAL store closes.
+	bgStop := make(chan struct{})
+	bgDone := make(chan struct{})
+	switch {
+	case store != nil:
+		go func() {
+			defer close(bgDone)
+			snapshotLoop(inv, store, *snapIvl, *snapEvts, bgStop, stderr)
+		}()
+	case flwr != nil:
+		go func() {
+			defer close(bgDone)
+			followLoop(flwr, *poll, bgStop, stderr)
+		}()
+	default:
+		close(bgDone)
+	}
 
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
@@ -143,6 +229,23 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "slotserve: drained, bye")
 	}
 
+	close(bgStop)
+	<-bgDone
+	if store != nil {
+		// Final flush: a parting snapshot makes the next boot's replay
+		// instant, and Close drains any still-queued appends to disk.
+		if st := store.Stats(); st.AppendedSeq > st.SnapshotSeq {
+			if err := store.Snapshot(inv.ExportState()); err != nil {
+				fmt.Fprintln(stderr, "slotserve: final snapshot:", err)
+				code = 1
+			}
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(stderr, "slotserve: wal close:", err)
+			code = 1
+		}
+	}
+
 	if obsF.stats {
 		stats.Snapshot().WriteText(stdout)
 	}
@@ -151,6 +254,62 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return code
+}
+
+// snapshotLoop writes periodic snapshots: once interval has passed since
+// the last one (or every journal events have accumulated, when every > 0)
+// and at least one new event exists. The check granule is one second —
+// snapshot timing does not need to be finer, and the checks are two
+// atomic loads.
+func snapshotLoop(inv *inventory.Inventory, store *wal.Store, interval time.Duration, every uint64, stop <-chan struct{}, stderr io.Writer) {
+	granule := time.Second
+	if interval > 0 && interval < granule {
+		granule = interval
+	}
+	tick := time.NewTicker(granule)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		st := store.Stats()
+		pending := st.AppendedSeq - st.SnapshotSeq
+		if pending == 0 {
+			continue
+		}
+		if time.Since(last) < interval && (every == 0 || pending < every) {
+			continue
+		}
+		if err := store.Snapshot(inv.ExportState()); err != nil {
+			fmt.Fprintln(stderr, "slotserve: snapshot:", err)
+			return // the store has latched an error; retrying cannot help
+		}
+		last = time.Now()
+	}
+}
+
+// followLoop drives the replica: apply whatever the leader has made
+// durable, every poll interval. Errors are reported but polling continues
+// — transient read races with a compacting leader resolve themselves.
+func followLoop(f *wal.Follower, interval time.Duration, stop <-chan struct{}, stderr io.Writer) {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		if _, err := f.Poll(); err != nil {
+			fmt.Fprintln(stderr, "slotserve: follower:", err)
+		}
+	}
 }
 
 // loadSlotFile reads either a full environment snapshot (the cmd/slotgen

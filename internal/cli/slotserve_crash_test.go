@@ -1,0 +1,299 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"slotsel/internal/inventory"
+	"slotsel/internal/slots"
+	"slotsel/internal/wal"
+)
+
+// TestMain doubles the test binary as a slotserve executable: the SIGKILL
+// e2e needs a real separate process to kill (an in-process server cannot
+// be killed without taking the test down with it). With SLOTSERVE_REEXEC
+// set, the binary runs Slotserve with the JSON-encoded args and exits.
+func TestMain(m *testing.M) {
+	if os.Getenv("SLOTSERVE_REEXEC") == "1" {
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv("SLOTSERVE_ARGS")), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "slotserve reexec: bad SLOTSERVE_ARGS:", err)
+			os.Exit(2)
+		}
+		os.Exit(Slotserve(args, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// serveProc is a slotserve child process started via re-exec.
+type serveProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *syncBuffer
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServeProc launches the test binary as slotserve and waits for its
+// "listening on" line to learn the bound address.
+func startServeProc(t *testing.T, args ...string) *serveProc {
+	t.Helper()
+	raw, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "SLOTSERVE_REEXEC=1", "SLOTSERVE_ARGS="+string(raw))
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, stderr: &syncBuffer{}}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(p.stderr, line)
+			if _, rest, ok := strings.Cut(line, "listening on http://"); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrc:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("slotserve child never reported its address; stderr:\n%s", p.stderr)
+	}
+	return p
+}
+
+// TestSlotserveKillDuringChurn is the durability e2e: a real slotserve
+// process with -data-dir takes concurrent reserve/commit/release traffic
+// and is SIGKILLed mid-churn. Every commit the server acknowledged before
+// the kill must be present in the recovered state, with zero overlapping
+// allocations — and a second slotserve must boot from the directory and
+// serve again.
+func TestSlotserveKillDuringChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	scratch := t.TempDir()
+	slotFile := filepath.Join(scratch, "env.json")
+	if code, _, stderr := runSlotgen(t, "-nodes", "12", "-seed", "11", "-o", slotFile); code != 0 {
+		t.Fatalf("slotgen: exit %d, stderr %q", code, stderr)
+	}
+	walDir := filepath.Join(scratch, "wal")
+
+	p := startServeProc(t,
+		"-addr", "127.0.0.1:0", "-slots", slotFile, "-data-dir", walDir,
+		"-snapshot-interval", "300ms", "-snapshot-every", "16", "-ttl", "1h")
+	base := "http://" + p.addr
+
+	// Churn: concurrent clients reserve and then commit or release. Acked
+	// commits — the server answered 200 after the WAL fsync — are the
+	// records that must survive the kill.
+	var (
+		mu    sync.Mutex
+		acked []string
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 2 * time.Second}
+	post := func(path, body string) (int, map[string]json.RawMessage, error) {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var out map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, out, nil
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"request":{"tasks":%d,"volume":%d,"max_cost":100000}}`, 1+(w+i)%3, 10+(i%7)*5)
+				code, out, err := post("/v1/reserve", body)
+				if err != nil {
+					return // the process died under us: done churning
+				}
+				if code != http.StatusOK {
+					continue // no window / conflict: keep hammering
+				}
+				var id string
+				if err := json.Unmarshal(out["id"], &id); err != nil {
+					t.Errorf("worker %d: bad reserve response: %v", w, err)
+					return
+				}
+				path := "/v1/commit"
+				if (w+i)%4 == 3 {
+					path = "/v1/release"
+				}
+				code, _, err = post(path, fmt.Sprintf(`{"id":%q}`, id))
+				if err != nil {
+					return
+				}
+				if path == "/v1/commit" && code == http.StatusOK {
+					mu.Lock()
+					acked = append(acked, id)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	// Kill mid-churn once enough commits are acknowledged, with workers
+	// still in flight — some requests die between fsync and response,
+	// which is exactly the window the WAL contract covers.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d commits acked in 30s; stderr:\n%s", n, p.stderr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Recover the directory in-process and check the contract.
+	inv, store, res, err := wal.Open(walDir, inventory.Options{}, wal.Options{})
+	if err != nil {
+		t.Fatalf("recovery after SIGKILL failed: %v", err)
+	}
+	defer store.Close()
+	if inv == nil {
+		t.Fatal("recovery found no state at all")
+	}
+	st := inv.ExportState()
+	committed := map[string]bool{}
+	for _, c := range st.Committed {
+		committed[c.ID] = true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range acked {
+		if !committed[id] {
+			t.Errorf("acked commit %s lost in the crash (recovered seq %d, %d events)", id, res.LastSeq, len(res.Events))
+		}
+	}
+	// Zero double-booking: no two recovered allocations may overlap on any
+	// node. Holds and commits both occupy capacity, so check them together.
+	type span struct {
+		id         string
+		start, end float64
+	}
+	occupied := map[int][]span{}
+	check := func(id string, m map[int][]slots.Interval) {
+		for nid, ivs := range m {
+			for _, iv := range ivs {
+				for _, prev := range occupied[nid] {
+					if prev.id != id && prev.start < iv.End && iv.Start < prev.end {
+						t.Errorf("double-booking on node %d: %s [%g,%g) overlaps %s [%g,%g)",
+							nid, prev.id, prev.start, prev.end, id, iv.Start, iv.End)
+					}
+				}
+				occupied[nid] = append(occupied[nid], span{id: id, start: iv.Start, end: iv.End})
+			}
+		}
+	}
+	for _, c := range st.Committed {
+		check(c.ID, c.Window.UsedIntervals())
+	}
+	for _, h := range st.Holds {
+		check(h.ID, h.Window.UsedIntervals())
+	}
+	if len(st.Committed) < len(acked) {
+		t.Errorf("recovered %d commits, but %d were acked", len(st.Committed), len(acked))
+	}
+	store.Close()
+
+	// And the real boot path: a fresh slotserve on the same directory
+	// recovers and serves, then exits cleanly on SIGTERM with a final
+	// snapshot on disk.
+	p2 := startServeProc(t, "-addr", "127.0.0.1:0", "-data-dir", walDir)
+	resp, err := http.Get("http://" + p2.addr + "/v1/statusz")
+	if err != nil {
+		t.Fatalf("restarted server unreachable: %v", err)
+	}
+	var status struct {
+		Durability struct {
+			JournalSeq uint64 `json:"journal_seq"`
+		} `json:"durability"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if status.Durability.JournalSeq < res.LastSeq {
+		t.Errorf("restarted server at seq %d, recovery saw %d", status.Durability.JournalSeq, res.LastSeq)
+	}
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v; stderr:\n%s", err, p2.stderr)
+	}
+	snaps, err := filepath.Glob(filepath.Join(walDir, "snap-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Errorf("no snapshot after clean shutdown (%v)", err)
+	}
+}

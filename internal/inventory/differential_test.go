@@ -153,6 +153,13 @@ func TestInventoryDifferential(t *testing.T) {
 			if lc != rc {
 				t.Errorf("counters differ:\nreplay: %+v\nlive:   %+v", rc, lc)
 			}
+			// Version parity: the published snapshot version must be a pure
+			// function of the journal too (every op publishes the same number
+			// of times live and replayed) — the property that lets a WAL
+			// follower label reads with the leader's snapshot_version.
+			if got, want := re.Snapshot().Version, inv.Snapshot().Version; got != want {
+				t.Errorf("snapshot versions differ: replay %d, live %d", got, want)
+			}
 		})
 	}
 }

@@ -95,6 +95,17 @@ type Options struct {
 	// without bound.
 	Record bool
 
+	// Sink, when non-nil, receives every journaled event for durable
+	// storage (the internal/wal write-ahead log) instead of unbounded
+	// in-memory accumulation: events are enqueued under the mutex (order =
+	// serialization order) and each mutating method blocks after releasing
+	// the mutex until its events are fsync'd, so an acknowledged mutation
+	// is always recoverable. A durability failure is returned as an error;
+	// by then the mutation is applied in memory, so callers should treat
+	// sink errors as fatal for the process (the wal.Store latches them).
+	// Sink and Record compose: both receive every event.
+	Sink JournalSink
+
 	// Collector receives instrumentation (search events from the embedded
 	// core/csa searches plus "inventory" spans). nil = off.
 	Collector obs.Collector
@@ -185,13 +196,18 @@ type Inventory struct {
 	seq       uint64
 	journal   []Event
 	counters  Counters
+
+	// wait is the pending durability wait of the current critical section
+	// (set by recordLocked when a Sink is configured, cleared by
+	// takeWaitLocked before the mutex is released).
+	wait func() error
 }
 
-// New builds an inventory over the given initial slot list (which may be
-// nil: capacity can arrive later via Add). The list is validated; the
-// inventory keeps its own interval bookkeeping, so the caller's list is not
-// retained or mutated.
-func New(list slots.List, opts Options) (*Inventory, error) {
+// newEmpty builds the bare pre-construction inventory: empty maps and a
+// version-0 snapshot. Version 0 is the state before any journaled event —
+// the base replay and recovery build on, so that "version after event N"
+// is identical between a live run and any replayed reconstruction of it.
+func newEmpty(opts Options) *Inventory {
 	if opts.DefaultTTL <= 0 {
 		opts.DefaultTTL = DefaultTTL
 	}
@@ -206,13 +222,61 @@ func New(list slots.List, opts Options) (*Inventory, error) {
 		holds:     make(map[string]*hold),
 		committed: make(map[string]*core.Window),
 	}
+	inv.snap.Store(&Snapshot{Version: 0})
+	return inv
+}
+
+// New builds an inventory over the given initial slot list (which may be
+// nil: capacity can arrive later via Add). The list is validated; the
+// inventory keeps its own interval bookkeeping, so the caller's list is not
+// retained or mutated. Construction is journaled as event 1 (an OpAdd,
+// possibly with an empty list) and publishes snapshot version 1.
+func New(list slots.List, opts Options) (*Inventory, error) {
+	inv := newEmpty(opts)
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	if err := inv.addLocked(list); err != nil {
+		inv.mu.Unlock()
 		return nil, err
 	}
 	inv.publishLocked()
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	if err := awaitDurable(wait); err != nil {
+		return nil, err
+	}
 	return inv, nil
+}
+
+// AttachSink installs the durable journal sink after construction — the
+// recovery boot sequence: rebuild state from snapshot + WAL tail first
+// (with no sink, so replayed events are not re-journaled), then attach the
+// sink so every subsequent mutation streams to the log.
+func (inv *Inventory) AttachSink(s JournalSink) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.opts.Sink = s
+}
+
+// SetClock replaces the time source — the recovery seam: a WAL tail
+// replays under a frozen clock (a recovered hold must not lapse
+// mid-replay and diverge from the recorded outcomes), then the real
+// clock takes over and expires recovered holds at their original
+// deadlines. nil restores time.Now.
+func (inv *Inventory) SetClock(clock func() time.Time) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if clock == nil {
+		clock = time.Now
+	}
+	inv.opts.Clock = clock
+}
+
+// Seq returns the sequence number of the last journaled (or applied)
+// event; zero when nothing has ever been journaled.
+func (inv *Inventory) Seq() uint64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.seq
 }
 
 // Snapshot returns the current free pool. Lock-free: the returned value is
@@ -300,27 +364,37 @@ func (inv *Inventory) ReserveWindow(w *core.Window, ttl time.Duration) (*Reserva
 		begin = obs.Now()
 	}
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	inv.sweepLocked()
 	ok := inv.fitsLocked(w)
 	var id string
+	var expires time.Time
 	if ok {
 		inv.nextID++
 		id = fmt.Sprintf("r%08d", inv.nextID)
+		expires = inv.opts.Clock().Add(ttl)
 	}
-	inv.recordLocked(Event{Op: OpReserve, ID: id, Window: w, OK: ok})
-	if !ok {
+	inv.recordLocked(Event{Op: OpReserve, ID: id, Window: w, OK: ok, Expires: expires})
+	var res *Reservation
+	if ok {
+		inv.holds[id] = &hold{window: w, expires: expires}
+		inv.allocateLocked(w)
+		inv.counters.Reserves++
+		inv.publishLocked()
+		inv.spanLocked("inventory.Reserve", begin, id)
+		res = &Reservation{ID: id, Window: w, Version: inv.snap.Load().Version, Expires: expires}
+	} else {
 		inv.counters.Conflicts++
 		inv.spanLocked("inventory.Reserve", begin, "conflict")
+	}
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	if err := awaitDurable(wait); err != nil {
+		return nil, err
+	}
+	if !ok {
 		return nil, ErrConflict
 	}
-	expires := inv.opts.Clock().Add(ttl)
-	inv.holds[id] = &hold{window: w, expires: expires}
-	inv.allocateLocked(w)
-	inv.counters.Reserves++
-	inv.publishLocked()
-	inv.spanLocked("inventory.Reserve", begin, id)
-	return &Reservation{ID: id, Window: w, Version: inv.snap.Load().Version, Expires: expires}, nil
+	return res, nil
 }
 
 // Commit makes the hold permanent: the window's spans stay allocated and
@@ -331,17 +405,23 @@ func (inv *Inventory) Commit(id string) (*core.Window, error) {
 		begin = obs.Now()
 	}
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	inv.sweepLocked()
 	h := inv.holds[id]
 	inv.recordLocked(Event{Op: OpCommit, ID: id, OK: h != nil})
+	if h != nil {
+		delete(inv.holds, id)
+		inv.committed[id] = h.window
+		inv.counters.Commits++
+		inv.spanLocked("inventory.Commit", begin, id)
+	}
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	if err := awaitDurable(wait); err != nil {
+		return nil, err
+	}
 	if h == nil {
 		return nil, ErrUnknownReservation
 	}
-	delete(inv.holds, id)
-	inv.committed[id] = h.window
-	inv.counters.Commits++
-	inv.spanLocked("inventory.Commit", begin, id)
 	return h.window, nil
 }
 
@@ -352,17 +432,23 @@ func (inv *Inventory) Release(id string) error {
 		begin = obs.Now()
 	}
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	inv.sweepLocked()
 	h := inv.holds[id]
 	inv.recordLocked(Event{Op: OpRelease, ID: id, OK: h != nil})
+	if h != nil {
+		inv.dropHoldLocked(id)
+		inv.counters.Releases++
+		inv.publishLocked()
+		inv.spanLocked("inventory.Release", begin, id)
+	}
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	if err := awaitDurable(wait); err != nil {
+		return err
+	}
 	if h == nil {
 		return ErrUnknownReservation
 	}
-	inv.dropHoldLocked(id)
-	inv.counters.Releases++
-	inv.publishLocked()
-	inv.spanLocked("inventory.Release", begin, id)
 	return nil
 }
 
@@ -374,13 +460,19 @@ func (inv *Inventory) Add(list slots.List) error {
 		return nil
 	}
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	inv.sweepLocked()
 	if err := inv.addLocked(list); err != nil {
+		wait := inv.takeWaitLocked() // sweeps may have journaled
+		inv.mu.Unlock()
+		if derr := awaitDurable(wait); derr != nil {
+			return derr
+		}
 		return err
 	}
 	inv.publishLocked()
-	return nil
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	return awaitDurable(wait)
 }
 
 // Withdraw removes a node's base capacity mid-flight (a non-dedicated
@@ -390,15 +482,21 @@ func (inv *Inventory) Add(list slots.List) error {
 // the node's capacity ever return.
 func (inv *Inventory) Withdraw(nodeID int) (cancelled []string, err error) {
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	inv.sweepLocked()
 	_, known := inv.base[nodeID]
 	inv.recordLocked(Event{Op: OpWithdraw, Node: nodeID, OK: known})
+	if known {
+		cancelled = inv.withdrawLocked(nodeID)
+		inv.publishLocked()
+	}
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	if derr := awaitDurable(wait); derr != nil {
+		return nil, derr
+	}
 	if !known {
 		return nil, ErrUnknownNode
 	}
-	cancelled = inv.withdrawLocked(nodeID)
-	inv.publishLocked()
 	return cancelled, nil
 }
 
@@ -407,8 +505,14 @@ func (inv *Inventory) Withdraw(nodeID int) (cancelled []string, err error) {
 // is only needed to bound the staleness of a read-mostly inventory.
 func (inv *Inventory) Sweep() int {
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
-	return inv.sweepLocked()
+	n := inv.sweepLocked()
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	// A failed fsync of expiry events cannot be surfaced here (the sweep
+	// already happened); the sink latches the error and the next mutation
+	// reports it.
+	_ = awaitDurable(wait)
+	return n
 }
 
 // Status returns a consistent point-in-time summary.
@@ -467,11 +571,10 @@ func (inv *Inventory) spanLocked(name string, begin time.Duration, arg string) {
 }
 
 // addLocked validates and merges a slot list into the base capacity,
-// recording the journal event on success.
+// recording the journal event on success. An empty list is recorded too
+// (the construction event of an inventory that starts without capacity);
+// Add filters empties so only New takes that path.
 func (inv *Inventory) addLocked(list slots.List) error {
-	if len(list) == 0 {
-		return nil
-	}
 	if err := list.Validate(); err != nil {
 		return err
 	}
@@ -490,11 +593,10 @@ func (inv *Inventory) addLocked(list slots.List) error {
 	return nil
 }
 
-// publishLocked recomputes the free list (base minus allocations) and
-// publishes it as a fresh immutable snapshot. Node iteration is sorted so
-// the published list is a deterministic function of base+alloc — the
-// property the differential replay suite checks.
-func (inv *Inventory) publishLocked() {
+// freeLocked recomputes the free list: base minus allocations. Node
+// iteration is sorted so the result is a deterministic function of
+// base+alloc — the property the differential replay suite checks.
+func (inv *Inventory) freeLocked() slots.List {
 	ids := make([]int, 0, len(inv.base))
 	for id := range inv.base {
 		ids = append(ids, id)
@@ -507,7 +609,13 @@ func (inv *Inventory) publishLocked() {
 			l = append(l, &slots.Slot{Node: n, Interval: iv})
 		}
 	}
-	free := slots.Cut(l, inv.alloc, inv.opts.MinSlotLength)
+	return slots.Cut(l, inv.alloc, inv.opts.MinSlotLength)
+}
+
+// publishLocked recomputes the free list and publishes it as a fresh
+// immutable snapshot with the next version.
+func (inv *Inventory) publishLocked() {
+	free := inv.freeLocked()
 	prev := inv.snap.Load()
 	var version uint64 = 1
 	if prev != nil {
@@ -562,7 +670,11 @@ func (inv *Inventory) dropHoldLocked(id string) {
 }
 
 // sweepLocked expires lapsed holds in deterministic (sorted-ID) order,
-// journaling each expiry, and republishes once if anything was swept.
+// journaling and republishing each expiry individually. One publication
+// per OpExpire event keeps the snapshot version an exact function of the
+// journal — replaying N events always lands on the same version the live
+// run had after its Nth event, which is what lets a WAL follower serve
+// reads labelled with the leader's snapshot_version.
 func (inv *Inventory) sweepLocked() int {
 	now := inv.opts.Clock()
 	var expired []string
@@ -579,8 +691,8 @@ func (inv *Inventory) sweepLocked() int {
 		inv.dropHoldLocked(id)
 		inv.counters.Expiries++
 		inv.recordLocked(Event{Op: OpExpire, ID: id, OK: true})
+		inv.publishLocked()
 	}
-	inv.publishLocked()
 	return len(expired)
 }
 

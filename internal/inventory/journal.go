@@ -2,6 +2,8 @@ package inventory
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"slotsel/internal/core"
@@ -72,16 +74,67 @@ type Event struct {
 
 	// Slots is the added capacity (OpAdd only; a private clone).
 	Slots slots.List
+
+	// Expires is the hold deadline of an accepted reserve (OpReserve with
+	// OK=true only). Replay ignores it — replayed expiry is driven by
+	// OpExpire events — but crash recovery restores holds with their
+	// original wall-clock deadline from it, so a hold that was due to
+	// lapse still lapses after a restart.
+	Expires time.Time
 }
 
-// recordLocked appends an event when journaling is enabled.
+// JournalSink receives every journaled event, in serialization order — the
+// seam a durable write-ahead log (internal/wal) plugs into so the journal
+// streams to disk instead of accumulating in memory without bound.
+//
+// Append is called with the inventory mutex held, so calls arrive strictly
+// ordered by Event.Seq; it must only enqueue (never block on I/O). The
+// returned wait func is called by the inventory AFTER the mutex is
+// released and must block until the event is durable, returning the I/O
+// error if durability failed. A nil wait means "durable immediately".
+type JournalSink interface {
+	Append(ev Event) (wait func() error)
+}
+
+// recordLocked hands the event to the configured destinations: the
+// in-memory journal (Options.Record) and/or the durable sink
+// (Options.Sink). Either enables sequence numbering.
 func (inv *Inventory) recordLocked(ev Event) {
-	if !inv.opts.Record {
+	if !inv.opts.Record && inv.opts.Sink == nil {
 		return
 	}
 	inv.seq++
 	ev.Seq = inv.seq
-	inv.journal = append(inv.journal, ev)
+	if inv.opts.Record {
+		inv.journal = append(inv.journal, ev)
+	}
+	if inv.opts.Sink != nil {
+		inv.wait = inv.opts.Sink.Append(ev)
+	}
+}
+
+// takeWaitLocked returns and clears the pending durability wait of the
+// current critical section. Sink appends are written and fsynced in order,
+// so the wait of the LAST event recorded under one lock acquisition covers
+// every earlier event of the same section.
+func (inv *Inventory) takeWaitLocked() func() error {
+	w := inv.wait
+	inv.wait = nil
+	return w
+}
+
+// awaitDurable blocks until the critical section's journal writes are
+// durable. Must be called after the inventory mutex is released: group
+// commit batches concurrent appends into one fsync, and a waiter holding
+// the mutex would serialize that batch away.
+func awaitDurable(wait func() error) error {
+	if wait == nil {
+		return nil
+	}
+	if err := wait(); err != nil {
+		return fmt.Errorf("inventory: journal not durable: %w", err)
+	}
+	return nil
 }
 
 // Journal returns a copy of the recorded events (empty unless
@@ -103,26 +156,45 @@ func (inv *Inventory) Journal() []Event {
 // clock: replayed holds never lapse on their own.
 func Replay(events []Event, opts Options) (*Inventory, error) {
 	opts.Record = false
+	opts.Sink = nil
 	opts.Collector = nil
 	frozen := time.Unix(0, 0)
 	opts.Clock = func() time.Time { return frozen }
 	opts.DefaultTTL = time.Hour
-	inv, err := New(nil, opts)
-	if err != nil {
-		return nil, err
-	}
+	inv := newEmpty(opts)
 	for _, ev := range events {
-		if err := inv.apply(ev); err != nil {
-			return nil, fmt.Errorf("inventory: replay diverged at seq %d (%s): %w", ev.Seq, ev.Op, err)
+		if err := inv.ApplyEvent(ev); err != nil {
+			return nil, err
 		}
 	}
 	return inv, nil
+}
+
+// ApplyEvent re-executes one journaled operation against the inventory and
+// verifies that it reproduces the recorded outcome — the replay primitive
+// shared by the in-memory determinism proof (Replay), WAL crash recovery
+// and WAL-tailing followers. Events must be applied in journal order; the
+// inventory's sequence counter follows the applied events, so journaling
+// resumes seamlessly after recovery.
+//
+// An accepted reserve restores its hold with the recorded Expires deadline
+// (so recovered holds still lapse on schedule under a real clock); events
+// without one — journals recorded before the field existed — fall back to
+// the default TTL from the applying inventory's clock.
+func (inv *Inventory) ApplyEvent(ev Event) error {
+	if err := inv.apply(ev); err != nil {
+		return fmt.Errorf("inventory: replay diverged at seq %d (%s): %w", ev.Seq, ev.Op, err)
+	}
+	return nil
 }
 
 // apply re-executes one journaled operation and checks the outcome.
 func (inv *Inventory) apply(ev Event) error {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
+	if ev.Seq > inv.seq {
+		inv.seq = ev.Seq
+	}
 	switch ev.Op {
 	case OpAdd:
 		if err := inv.addLocked(ev.Slots); err != nil {
@@ -141,9 +213,18 @@ func (inv *Inventory) apply(ev Event) error {
 		if ev.ID == "" {
 			return fmt.Errorf("accepted reserve without an ID")
 		}
-		inv.holds[ev.ID] = &hold{window: ev.Window, expires: inv.opts.Clock().Add(inv.opts.DefaultTTL)}
+		expires := ev.Expires
+		if expires.IsZero() {
+			expires = inv.opts.Clock().Add(inv.opts.DefaultTTL)
+		}
+		inv.holds[ev.ID] = &hold{window: ev.Window, expires: expires}
 		inv.allocateLocked(ev.Window)
 		inv.counters.Reserves++
+		// Track the ID counter through replayed reserves, so IDs minted
+		// after a recovery never collide with replayed ones.
+		if n, err := strconv.ParseUint(strings.TrimPrefix(ev.ID, "r"), 10, 64); err == nil && n > inv.nextID {
+			inv.nextID = n
+		}
 		inv.publishLocked()
 	case OpCommit:
 		h := inv.holds[ev.ID]

@@ -1,0 +1,183 @@
+package inventory
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/nodes"
+	"slotsel/internal/slots"
+)
+
+// HoldRecord is one live TTL'd reservation in an exported State.
+type HoldRecord struct {
+	// ID names the hold.
+	ID string
+
+	// Window is the held co-allocation (immutable, shared).
+	Window *core.Window
+
+	// Expires is the hold's wall-clock deadline.
+	Expires time.Time
+}
+
+// CommitRecord is one permanent allocation in an exported State.
+type CommitRecord struct {
+	// ID is the reservation ID the commit settled.
+	ID string
+
+	// Window is the committed co-allocation (immutable, shared).
+	Window *core.Window
+}
+
+// State is a complete, self-contained copy of an inventory's mutable
+// state at one journal position — what a WAL snapshot persists and what
+// recovery rebuilds from before replaying the log tail. Restoring a State
+// and then applying the events recorded after State.Seq reproduces the
+// original inventory exactly, including its published snapshot version.
+//
+// Slices are sorted deterministically (base by node then start, holds and
+// commits by ID), so two exports of equal states are deeply equal.
+type State struct {
+	// Version is the published free-list snapshot version at export time.
+	Version uint64
+
+	// Seq is the sequence number of the last journaled event included in
+	// this state.
+	Seq uint64
+
+	// NextID is the reservation ID counter.
+	NextID uint64
+
+	// Counters are the lifecycle totals. NoWindow is the one counter that
+	// is not a function of the journal (failed searches record no event),
+	// so it is carried here to survive restarts even though replayed
+	// tails cannot advance it.
+	Counters Counters
+
+	// Base is the full base capacity as a slot list (merged spans, sorted
+	// by node ID then start).
+	Base slots.List
+
+	// Holds are the live reservations, sorted by ID.
+	Holds []HoldRecord
+
+	// Committed are the permanent allocations, sorted by ID. Their
+	// windows may reference nodes absent from Base (withdrawn after the
+	// commit): the spans stay blocked should the capacity return.
+	Committed []CommitRecord
+}
+
+// ExportState captures the full mutable state under the lock. The
+// returned State shares windows (immutable) but owns all slices, so it
+// stays valid while the inventory keeps mutating.
+func (inv *Inventory) ExportState() *State {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	st := &State{
+		Version:  inv.snap.Load().Version,
+		Seq:      inv.seq,
+		NextID:   inv.nextID,
+		Counters: inv.counters,
+	}
+	ids := make([]int, 0, len(inv.base))
+	for id := range inv.base {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, nid := range ids {
+		n := inv.nodes[nid]
+		for _, iv := range inv.base[nid] {
+			st.Base = append(st.Base, &slots.Slot{Node: n, Interval: iv})
+		}
+	}
+	for id, h := range inv.holds {
+		st.Holds = append(st.Holds, HoldRecord{ID: id, Window: h.window, Expires: h.expires})
+	}
+	sort.Slice(st.Holds, func(i, j int) bool { return st.Holds[i].ID < st.Holds[j].ID })
+	for id, w := range inv.committed {
+		st.Committed = append(st.Committed, CommitRecord{ID: id, Window: w})
+	}
+	sort.Slice(st.Committed, func(i, j int) bool { return st.Committed[i].ID < st.Committed[j].ID })
+	return st
+}
+
+// Restore builds an inventory from an exported State — the first half of
+// crash recovery (the second is replaying the WAL tail with ApplyEvent).
+// The published snapshot carries State.Version exactly, not a fresh
+// counter: versions must survive restarts so clients and followers can
+// compare them across the boundary. Restore never journals; attach the
+// WAL sink afterwards with AttachSink.
+func Restore(st *State, opts Options) (*Inventory, error) {
+	opts.Sink = nil
+	inv := newEmpty(opts)
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if err := inv.resetLocked(st); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// ResetTo replaces the inventory's entire state in place — the follower
+// resync primitive: when a follower falls behind the leader's compaction
+// horizon it loads the newer snapshot into the same *Inventory the HTTP
+// server already points at. Not for use on inventories with a live Sink.
+func (inv *Inventory) ResetTo(st *State) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if inv.opts.Sink != nil {
+		return fmt.Errorf("inventory: ResetTo on an inventory with a journal sink")
+	}
+	return inv.resetLocked(st)
+}
+
+// resetLocked rebuilds every map from the State and publishes the free
+// list at exactly State.Version.
+func (inv *Inventory) resetLocked(st *State) error {
+	if err := st.Base.Validate(); err != nil {
+		return fmt.Errorf("inventory: restore: invalid base capacity: %w", err)
+	}
+	inv.nodes = make(map[int]*nodes.Node)
+	inv.base = make(map[int][]slots.Interval)
+	inv.alloc = make(map[int][]slots.Interval)
+	inv.holds = make(map[string]*hold, len(st.Holds))
+	inv.committed = make(map[string]*core.Window, len(st.Committed))
+	for _, s := range st.Base {
+		if inv.nodes[s.Node.ID] == nil {
+			inv.nodes[s.Node.ID] = s.Node
+		}
+		inv.base[s.Node.ID] = append(inv.base[s.Node.ID], s.Interval)
+	}
+	for nid := range inv.base {
+		inv.base[nid] = slots.MergeIntervals(inv.base[nid])
+	}
+	for _, h := range st.Holds {
+		if h.Window == nil || len(h.Window.Placements) == 0 {
+			return fmt.Errorf("inventory: restore: hold %q has no window", h.ID)
+		}
+		if inv.holds[h.ID] != nil {
+			return fmt.Errorf("inventory: restore: duplicate hold %q", h.ID)
+		}
+		inv.holds[h.ID] = &hold{window: h.Window, expires: h.Expires}
+		inv.allocateLocked(h.Window)
+	}
+	for _, c := range st.Committed {
+		if c.Window == nil || len(c.Window.Placements) == 0 {
+			return fmt.Errorf("inventory: restore: commit %q has no window", c.ID)
+		}
+		if inv.committed[c.ID] != nil {
+			return fmt.Errorf("inventory: restore: duplicate commit %q", c.ID)
+		}
+		inv.committed[c.ID] = c.Window
+		inv.allocateLocked(c.Window)
+	}
+	inv.nextID = st.NextID
+	inv.seq = st.Seq
+	inv.counters = st.Counters
+	inv.journal = nil
+	inv.wait = nil
+	inv.snap.Store(&Snapshot{Version: st.Version, Slots: inv.freeLocked()})
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"slotsel/internal/core"
@@ -295,6 +296,123 @@ func ReadWindow(r io.Reader, e *env.Environment) (*core.Window, error) {
 	}
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("persist: window has no placements")
+	}
+	return core.NewWindow(in.Start, cands), nil
+}
+
+// ownedPlacementJSON extends placementJSON with the hosting slot's own
+// interval, so a window can be reconstructed without an environment.
+type ownedPlacementJSON struct {
+	Node      int     `json:"node"`
+	Start     float64 `json:"start"`
+	Exec      float64 `json:"exec"`
+	Cost      float64 `json:"cost"`
+	SlotStart float64 `json:"slot_start"`
+	SlotEnd   float64 `json:"slot_end"`
+}
+
+// ownedWindowJSON is the self-contained window encoding: the referenced
+// nodes are embedded (like the slot-list format) and every placement
+// carries its hosting slot's interval, so ReadOwnedWindow needs no
+// environment to re-link against. This is the encoding the durable journal
+// (internal/wal) frames into its records and snapshots.
+type ownedWindowJSON struct {
+	Version    int                  `json:"version"`
+	Start      float64              `json:"start"`
+	Nodes      []nodeJSON           `json:"nodes"`
+	Placements []ownedPlacementJSON `json:"placements"`
+}
+
+// WriteOwnedWindow serializes a window self-contained (embedded nodes and
+// slot intervals), as compact JSON: unlike WriteWindow the result can be
+// decoded with no environment at hand, which is what a write-ahead log
+// replayed on a cold boot needs. Aggregates (runtime, cost, proc time) are
+// not stored: ReadOwnedWindow recomputes them with the exact NewWindow
+// accumulation, so a round trip is value-identical.
+func WriteOwnedWindow(w io.Writer, win *core.Window) error {
+	out := ownedWindowJSON{Version: FormatVersion, Start: win.Start}
+	seen := make(map[int]bool, len(win.Placements))
+	for _, p := range win.Placements {
+		if p.Slot == nil || p.Slot.Node == nil {
+			return fmt.Errorf("persist: window placement has a nil slot or node")
+		}
+		n := p.Slot.Node
+		if !seen[n.ID] {
+			seen[n.ID] = true
+			out.Nodes = append(out.Nodes, nodeJSON{
+				ID: n.ID, Perf: n.Perf, Price: n.Price,
+				RAMMB: n.RAMMB, DiskGB: n.DiskGB,
+				OS: string(n.OS), Arch: string(n.Arch),
+			})
+		}
+		out.Placements = append(out.Placements, ownedPlacementJSON{
+			Node: n.ID, Start: p.Start, Exec: p.Exec, Cost: p.Cost,
+			SlotStart: p.Slot.Start, SlotEnd: p.Slot.End,
+		})
+	}
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].ID < out.Nodes[j].ID })
+	return json.NewEncoder(w).Encode(out)
+}
+
+// ReadOwnedWindow deserializes a self-contained window: placements are
+// re-linked to freshly built nodes and slots from the embedded data. The
+// result is structurally validated (placements inside their slots, positive
+// execution times) but not checked against any request — the journal replay
+// path re-validates fit against inventory state instead.
+func ReadOwnedWindow(r io.Reader) (*core.Window, error) {
+	var in ownedWindowJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decoding owned window: %w", err)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported owned window version %d (want %d)", in.Version, FormatVersion)
+	}
+	if len(in.Placements) == 0 {
+		return nil, fmt.Errorf("persist: owned window has no placements")
+	}
+	byID := make(map[int]*nodes.Node, len(in.Nodes))
+	for _, nj := range in.Nodes {
+		if byID[nj.ID] != nil {
+			return nil, fmt.Errorf("persist: duplicate node ID %d", nj.ID)
+		}
+		byID[nj.ID] = &nodes.Node{
+			ID: nj.ID, Perf: nj.Perf, Price: nj.Price,
+			RAMMB: nj.RAMMB, DiskGB: nj.DiskGB,
+			OS: nodes.OS(nj.OS), Arch: nodes.Arch(nj.Arch),
+		}
+	}
+	var cands []core.Candidate
+	for _, pj := range in.Placements {
+		n := byID[pj.Node]
+		if n == nil {
+			return nil, fmt.Errorf("persist: placement references unknown node %d", pj.Node)
+		}
+		// NaN compares false against everything, so it would slide through
+		// the range checks below; reject non-finite values explicitly —
+		// this reader is the crash-recovery parsing surface.
+		for _, v := range [...]float64{pj.Start, pj.Exec, pj.Cost, pj.SlotStart, pj.SlotEnd, in.Start} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("persist: owned window contains a non-finite value")
+			}
+		}
+		if pj.SlotEnd <= pj.SlotStart {
+			return nil, fmt.Errorf("persist: placement slot [%g, %g) on node %d is empty", pj.SlotStart, pj.SlotEnd, pj.Node)
+		}
+		if pj.Exec <= 0 {
+			return nil, fmt.Errorf("persist: placement on node %d has non-positive exec %g", pj.Node, pj.Exec)
+		}
+		if pj.Start < pj.SlotStart || pj.Start+pj.Exec > pj.SlotEnd {
+			return nil, fmt.Errorf("persist: placement [%g, %g) escapes its slot [%g, %g) on node %d",
+				pj.Start, pj.Start+pj.Exec, pj.SlotStart, pj.SlotEnd, pj.Node)
+		}
+		if pj.Start != in.Start {
+			return nil, fmt.Errorf("persist: placement starts at %g, window at %g", pj.Start, in.Start)
+		}
+		cands = append(cands, core.Candidate{
+			Slot: &slots.Slot{Node: n, Interval: slots.Interval{Start: pj.SlotStart, End: pj.SlotEnd}},
+			Exec: pj.Exec,
+			Cost: pj.Cost,
+		})
 	}
 	return core.NewWindow(in.Start, cands), nil
 }

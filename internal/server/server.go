@@ -13,6 +13,17 @@
 // so snapshots written by cmd/slotgen and windows printed by cmd/slotfind
 // interoperate with the service unchanged.
 //
+// # Durability and followers
+//
+// With Options.WAL set the server reports the durability store's progress
+// (journal vs durable sequence, snapshot age, fsync count) in a
+// "durability" statusz section and as slotserve_wal_* metrics — both
+// sampled from the same store atomics. With Options.ReadOnly the server is
+// a follower front-end: only the read endpoints are served and the
+// mutating ones answer 403, because a WAL-tailing replica may change state
+// only by applying the leader's journal; Options.Follower adds the
+// replica's replication progress to statusz and the metrics.
+//
 // # Admission control
 //
 // Every request passes a bounded admission gate: at most MaxInflight
@@ -69,6 +80,7 @@ import (
 	"slotsel/internal/persist"
 	"slotsel/internal/telemetry"
 	"slotsel/internal/telemetry/reqlog"
+	"slotsel/internal/wal"
 )
 
 // Options configures the HTTP front-end. The zero value gets sensible
@@ -96,6 +108,24 @@ type Options struct {
 	// RequestLog, when non-nil, receives one structured JSON line per
 	// request (including shed and deadline-expired ones). nil = off.
 	RequestLog *reqlog.Logger
+
+	// ReadOnly serves only the read endpoints (/v1/find, /v1/slots,
+	// /v1/statusz, /metricsz); the mutating endpoints (/v1/reserve,
+	// /v1/commit, /v1/release) answer 403. This is the follower mode: the
+	// inventory behind the server is a WAL-tailing replica that must only
+	// change by applying the leader's journal.
+	ReadOnly bool
+
+	// WAL, when non-nil, is the durability store behind the inventory.
+	// Its stats feed the "durability" section of /v1/statusz and the
+	// slotserve_wal_* metric families — both sampled from the same store
+	// atomics, so the two views cannot disagree.
+	WAL *wal.Store
+
+	// Follower, when non-nil, reports replication progress of the
+	// WAL-tailing replica behind a read-only server (the "replication"
+	// statusz section and the slotserve_follower_* metrics).
+	Follower *wal.Follower
 }
 
 // Server is the HTTP handler over one Inventory.
@@ -219,7 +249,54 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) *serverMetrics {
 	reg.SampledCounter("slotsel_inventory_expiries_total",
 		"Holds swept after their TTL lapsed.",
 		func() float64 { return float64(inv.Status().Counters.Expiries) })
+
+	if w := s.opts.WAL; w != nil {
+		reg.SampledGauge("slotserve_wal_journal_seq",
+			"Last sequence handed to the WAL (appended, not necessarily durable).",
+			func() float64 { return float64(w.Stats().AppendedSeq) })
+		reg.SampledGauge("slotserve_wal_durable_seq",
+			"Last sequence confirmed on stable storage by fsync.",
+			func() float64 { return float64(w.Stats().DurableSeq) })
+		reg.SampledGauge("slotserve_wal_snapshot_seq",
+			"Sequence covered by the latest snapshot (0 = log-only).",
+			func() float64 { return float64(w.Stats().SnapshotSeq) })
+		reg.SampledGauge("slotserve_wal_snapshot_age_seconds",
+			"Seconds since the latest snapshot was written (-1 = none this process).",
+			func() float64 { return snapshotAgeSeconds(w.Stats()) })
+		reg.SampledCounter("slotserve_wal_fsyncs_total",
+			"Group commits flushed to stable storage.",
+			func() float64 { return float64(w.Stats().Fsyncs) })
+	}
+	if f := s.opts.Follower; f != nil {
+		reg.SampledGauge("slotserve_follower_applied_seq",
+			"Last leader journal sequence applied to the replica.",
+			func() float64 { return float64(f.LastSeq()) })
+		reg.SampledCounter("slotserve_follower_resyncs_total",
+			"Full snapshot reloads after the tailing position was lost.",
+			func() float64 { return float64(f.Resyncs()) })
+	}
 	return m
+}
+
+// FsyncHistogram registers the WAL fsync-latency histogram on reg and
+// returns an observer to hand to wal.Options.OnFsync. It lives apart from
+// registerMetrics because the store — and therefore its OnFsync callback —
+// must exist before the server does.
+func FsyncHistogram(reg *telemetry.Registry) func(time.Duration) {
+	h := reg.Histogram("slotserve_wal_fsync_seconds",
+		"WAL fsync latency (one observation per group commit).",
+		telemetry.LatencyBucketsSeconds())
+	return func(d time.Duration) { h.Observe(d.Seconds()) }
+}
+
+// snapshotAgeSeconds is the age of the latest snapshot, or -1 when none
+// has been written in this process's lifetime — an age of 0 would read as
+// "snapshotted just now", the opposite of the truth.
+func snapshotAgeSeconds(st wal.Stats) float64 {
+	if st.SnapshotUnixNano == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, st.SnapshotUnixNano)).Seconds()
 }
 
 // New builds the handler. The inventory must be non-nil.
@@ -244,9 +321,15 @@ func New(inv *inventory.Inventory, opts Options) *Server {
 	// effort — sync.Pool may shed entries under GC pressure.
 	core.WarmScanners(opts.MaxInflight)
 	s.mux.HandleFunc("/v1/find", s.post(s.handleFind))
-	s.mux.HandleFunc("/v1/reserve", s.post(s.handleReserve))
-	s.mux.HandleFunc("/v1/commit", s.post(s.handleCommit))
-	s.mux.HandleFunc("/v1/release", s.post(s.handleRelease))
+	if opts.ReadOnly {
+		s.mux.HandleFunc("/v1/reserve", s.post(s.rejectReadOnly))
+		s.mux.HandleFunc("/v1/commit", s.post(s.rejectReadOnly))
+		s.mux.HandleFunc("/v1/release", s.post(s.rejectReadOnly))
+	} else {
+		s.mux.HandleFunc("/v1/reserve", s.post(s.handleReserve))
+		s.mux.HandleFunc("/v1/commit", s.post(s.handleCommit))
+		s.mux.HandleFunc("/v1/release", s.post(s.handleRelease))
+	}
 	s.mux.HandleFunc("/v1/slots", s.get(s.handleSlots))
 	s.mux.HandleFunc("/v1/statusz", s.get(s.handleStatusz))
 	if opts.Metrics != nil {
@@ -381,6 +464,8 @@ func statusLabel(code int) string {
 		return "200"
 	case http.StatusBadRequest:
 		return "400"
+	case http.StatusForbidden:
+		return "403"
 	case http.StatusNotFound:
 		return "404"
 	case http.StatusMethodNotAllowed:
@@ -596,6 +681,14 @@ func criterionByName(name string) (csa.Criterion, bool) {
 	return 0, false
 }
 
+// rejectReadOnly answers every mutating endpoint in follower mode: the
+// replica's state may only change by applying the leader's journal, so
+// writes must go to the leader. 403 rather than 405 — the method is fine,
+// this server is just not allowed to perform the operation.
+func (s *Server) rejectReadOnly(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusForbidden, "read-only follower: send mutations to the leader")
+}
+
 // handleFind is the stateless search: nothing is held.
 func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 	_, in, ok := s.decodeSearch(w, r)
@@ -744,7 +837,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
-	s.inv.Sweep() // bound snapshot staleness on read-only traffic
+	s.sweep() // bound snapshot staleness on read-only traffic
 	snap := s.inv.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Inventory-Version", strconv.FormatUint(snap.Version, 10))
@@ -754,8 +847,18 @@ func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// sweep expires lapsed holds on read traffic — except in follower mode,
+// where holds only lapse when the leader's own OpExpire events arrive
+// (the replica clock is frozen precisely so local time cannot diverge the
+// replica from the journal).
+func (s *Server) sweep() {
+	if !s.opts.ReadOnly {
+		s.inv.Sweep()
+	}
+}
+
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
-	s.inv.Sweep()
+	s.sweep()
 	// go_memstats-style runtime figures, so the service's steady-state
 	// allocation discipline (the scanner pool's whole point) is observable
 	// in production, not just in the regression suite. ReadMemStats
@@ -767,8 +870,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	// correlate every counter delta with the exact inventory-version range
 	// [before.snapshot_version, after.snapshot_version] it happened in.
 	st := s.inv.Status()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"snapshot_version": st.Version,
+		"read_only":        s.opts.ReadOnly,
 		"inventory":        st,
 		"server": map[string]any{
 			"requests":         s.requests.Load(),
@@ -786,7 +890,26 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"gc_cycles":         ms.NumGC,
 			"gc_pause_total_ns": ms.PauseTotalNs,
 		},
-	})
+	}
+	// The durability figures come from the same store atomics the
+	// slotserve_wal_* metrics sample, so statusz and /metricsz agree.
+	if wl := s.opts.WAL; wl != nil {
+		wst := wl.Stats()
+		body["durability"] = map[string]any{
+			"journal_seq":          wst.AppendedSeq,
+			"durable_seq":          wst.DurableSeq,
+			"last_snapshot_seq":    wst.SnapshotSeq,
+			"snapshot_age_seconds": snapshotAgeSeconds(wst),
+			"fsyncs":               wst.Fsyncs,
+		}
+	}
+	if f := s.opts.Follower; f != nil {
+		body["replication"] = map[string]any{
+			"last_applied_seq": f.LastSeq(),
+			"resyncs":          f.Resyncs(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // windowJSON renders a window through the persist wire encoding as a raw

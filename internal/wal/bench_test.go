@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/inventory"
+	"slotsel/internal/job"
+	"slotsel/internal/randx"
+	"slotsel/internal/testkit"
+)
+
+// These benchmarks price the durability layer against the same
+// Reserve→Release cycle that internal/inventory's churn benchmarks
+// measure with no sink at all. Three tiers:
+//
+//	NoWAL   — the slotbench/baseline configuration (Sink == nil); the
+//	          regression gate's numbers are this tier, which is why
+//	          enabling the WAL cannot invalidate the checked-in baseline.
+//	NoSync  — framing + buffered write, no fsync: the encoding overhead.
+//	Fsync   — the real durable cycle; dominated by the device, and on CI
+//	          tmpfs it is nearly free, so treat absolute numbers as a
+//	          floor, not a field measurement.
+func benchCycleInventory(b *testing.B, journaled bool, opts Options) (*inventory.Inventory, *Store) {
+	b.Helper()
+	rng := randx.New(9)
+	list := testkit.RandomList(rng, 24, 4, 2000)
+	invOpts := inventory.Options{MinSlotLength: 1}
+	if !journaled {
+		inv, err := inventory.New(list, invOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return inv, nil
+	}
+	inv, store, _, err := Open(b.TempDir(), invOpts, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if inv != nil {
+		b.Fatal("fresh directory should have no recovered state")
+	}
+	invOpts.Sink = store
+	inv, err = inventory.New(list, invOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	return inv, store
+}
+
+func benchCycle(b *testing.B, inv *inventory.Inventory) {
+	req := job.Request{TaskCount: 2, Volume: 60, MaxCost: 5000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := inv.Reserve(&req, core.AMP{}, time.Hour)
+		if err != nil {
+			b.Fatalf("reserve: %v", err)
+		}
+		if err := inv.Release(res.ID); err != nil {
+			b.Fatalf("release: %v", err)
+		}
+	}
+}
+
+func BenchmarkReserveReleaseNoWAL(b *testing.B) {
+	inv, _ := benchCycleInventory(b, false, Options{})
+	benchCycle(b, inv)
+}
+
+func BenchmarkReserveReleaseWALNoSync(b *testing.B) {
+	inv, _ := benchCycleInventory(b, true, Options{NoSync: true})
+	benchCycle(b, inv)
+}
+
+func BenchmarkReserveReleaseWALFsync(b *testing.B) {
+	inv, _ := benchCycleInventory(b, true, Options{})
+	benchCycle(b, inv)
+}
+
+// BenchmarkAppendEncode isolates the journal framing itself — encode one
+// OpExpire event (the smallest record) into a NoSync store.
+func BenchmarkAppendEncode(b *testing.B) {
+	_, store, _, err := Open(b.TempDir(), inventory.Options{}, Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait := store.Append(inventory.Event{Seq: uint64(i + 1), Op: inventory.OpExpire, ID: "h-000001"})
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

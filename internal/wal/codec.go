@@ -1,0 +1,290 @@
+// Package wal is the durability layer under internal/inventory: a
+// write-ahead log of journal events with periodic full-state snapshots,
+// crash recovery, and a tailing reader for read-only followers.
+//
+// # On-disk layout
+//
+// A WAL directory holds two kinds of files:
+//
+//	wal-<firstSeq:%016x>.log    segments: a stream of event frames
+//	snap-<seq:%016x>.snap       snapshots: one frame holding a full State
+//
+// Every record uses the same frame:
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// The payload is compact JSON built on the internal/persist encodings
+// (owned windows, slot lists), so records are self-contained and humanly
+// inspectable with standard tools. Frames make tail damage classifiable:
+// an incomplete header or payload is a torn write (the expected shape of
+// a crash mid-append, truncated silently on recovery), while a complete
+// frame whose checksum fails is corruption (recovery stops there and
+// refuses to replay further).
+//
+// # Durability contract
+//
+// Store.Append implements inventory.JournalSink with group commit: events
+// enqueue under the inventory mutex, a single writer goroutine batches
+// whatever is pending into one write+fsync, and every waiter whose event
+// made the batch is released together. An acknowledged mutation is
+// therefore always recoverable, and one fsync pays for a whole burst of
+// concurrent mutations. An fsync failure latches the store into a
+// permanent error state — later appends fail fast rather than pretending
+// the log is still intact.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"slotsel/internal/inventory"
+	"slotsel/internal/persist"
+	"slotsel/internal/slots"
+)
+
+// frameHeaderSize is the fixed prefix of every record: payload length and
+// CRC-32C, both little-endian uint32.
+const frameHeaderSize = 8
+
+// MaxRecordBytes bounds a single record's payload. A length prefix beyond
+// the bound is treated as corruption, so a damaged header cannot make a
+// reader attempt a multi-gigabyte allocation.
+const MaxRecordBytes = 16 << 20
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame damage classification errors, distinguished by recovery:
+var (
+	// errTorn reports an incomplete record at the end of input — the
+	// signature of a crash mid-write. Recovery truncates here.
+	errTorn = errors.New("wal: torn record at end of log")
+
+	// errCorrupt reports a structurally complete record that fails its
+	// checksum or length bound. Recovery stops here too, but the
+	// remainder of the log is NOT replayed: unlike a torn tail there may
+	// be valid records beyond the damage, and replaying past a hole
+	// would silently diverge from the recorded history.
+	errCorrupt = errors.New("wal: corrupt record")
+)
+
+// appendFrame appends one framed payload to buf and returns the result.
+func appendFrame(buf []byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame reads the next record from r. It returns io.EOF at a clean
+// end of input, errTorn for an incomplete record, and errCorrupt for a
+// checksum or length-bound failure.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, io.EOF // clean end: not even a first byte
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, errTorn // header cut mid-way
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 && sum == 0 {
+		// An all-zero header is a zero-filled tail (filesystems may
+		// zero-extend blocks lost in a crash), not a record: real frames
+		// always carry a non-empty JSON payload. Same treatment as torn.
+		return nil, errTorn
+	}
+	if length > MaxRecordBytes {
+		return nil, fmt.Errorf("%w: frame length %d exceeds %d", errCorrupt, length, MaxRecordBytes)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTorn // payload cut mid-way
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	return payload, nil
+}
+
+// eventJSON is the serialized inventory.Event. Window and Slots embed the
+// persist owned-window and slot-list encodings as nested documents.
+type eventJSON struct {
+	Seq     uint64          `json:"seq"`
+	Op      int             `json:"op"`
+	ID      string          `json:"id,omitempty"`
+	Node    int             `json:"node,omitempty"`
+	OK      bool            `json:"ok"`
+	Expires int64           `json:"expires,omitempty"` // UnixNano; 0 = none
+	Window  json.RawMessage `json:"window,omitempty"`
+	Slots   json.RawMessage `json:"slots,omitempty"`
+}
+
+// EncodeEvent serializes one journal event to its record payload.
+func EncodeEvent(ev inventory.Event) ([]byte, error) {
+	out := eventJSON{Seq: ev.Seq, Op: int(ev.Op), ID: ev.ID, Node: ev.Node, OK: ev.OK}
+	if !ev.Expires.IsZero() {
+		out.Expires = ev.Expires.UnixNano()
+	}
+	if ev.Window != nil {
+		var buf bytes.Buffer
+		if err := persist.WriteOwnedWindow(&buf, ev.Window); err != nil {
+			return nil, fmt.Errorf("wal: encoding event %d window: %w", ev.Seq, err)
+		}
+		out.Window = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if len(ev.Slots) > 0 {
+		var buf bytes.Buffer
+		if err := persist.WriteSlotList(&buf, ev.Slots); err != nil {
+			return nil, fmt.Errorf("wal: encoding event %d slots: %w", ev.Seq, err)
+		}
+		out.Slots = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	return json.Marshal(out)
+}
+
+// DecodeEvent deserializes one record payload back into a journal event.
+func DecodeEvent(payload []byte) (inventory.Event, error) {
+	var in eventJSON
+	if err := json.Unmarshal(payload, &in); err != nil {
+		return inventory.Event{}, fmt.Errorf("wal: decoding event: %w", err)
+	}
+	ev := inventory.Event{
+		Seq: in.Seq, Op: inventory.Op(in.Op), ID: in.ID, Node: in.Node, OK: in.OK,
+	}
+	if in.Expires != 0 {
+		ev.Expires = time.Unix(0, in.Expires)
+	}
+	if len(in.Window) > 0 {
+		w, err := persist.ReadOwnedWindow(bytes.NewReader(in.Window))
+		if err != nil {
+			return inventory.Event{}, fmt.Errorf("wal: decoding event %d window: %w", in.Seq, err)
+		}
+		ev.Window = w
+	}
+	if len(in.Slots) > 0 {
+		l, err := persist.ReadSlotList(bytes.NewReader(in.Slots))
+		if err != nil {
+			return inventory.Event{}, fmt.Errorf("wal: decoding event %d slots: %w", in.Seq, err)
+		}
+		ev.Slots = l
+	}
+	return ev, nil
+}
+
+// holdJSON is one live reservation in a serialized State.
+type holdJSON struct {
+	ID      string          `json:"id"`
+	Expires int64           `json:"expires"` // UnixNano
+	Window  json.RawMessage `json:"window"`
+}
+
+// commitJSON is one permanent allocation in a serialized State.
+type commitJSON struct {
+	ID     string          `json:"id"`
+	Window json.RawMessage `json:"window"`
+}
+
+// stateJSON is the serialized inventory.State — the snapshot payload.
+type stateJSON struct {
+	Format    int                `json:"format"`
+	Version   uint64             `json:"snapshot_version"`
+	Seq       uint64             `json:"seq"`
+	NextID    uint64             `json:"next_id"`
+	Counters  inventory.Counters `json:"counters"`
+	Base      json.RawMessage    `json:"base,omitempty"`
+	Holds     []holdJSON         `json:"holds,omitempty"`
+	Committed []commitJSON       `json:"committed,omitempty"`
+}
+
+// EncodeState serializes a full inventory state to its snapshot payload.
+func EncodeState(st *inventory.State) ([]byte, error) {
+	out := stateJSON{
+		Format:   persist.FormatVersion,
+		Version:  st.Version,
+		Seq:      st.Seq,
+		NextID:   st.NextID,
+		Counters: st.Counters,
+	}
+	if len(st.Base) > 0 {
+		var buf bytes.Buffer
+		if err := persist.WriteSlotList(&buf, st.Base); err != nil {
+			return nil, fmt.Errorf("wal: encoding state base: %w", err)
+		}
+		out.Base = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	for _, h := range st.Holds {
+		var buf bytes.Buffer
+		if err := persist.WriteOwnedWindow(&buf, h.Window); err != nil {
+			return nil, fmt.Errorf("wal: encoding state hold %q: %w", h.ID, err)
+		}
+		out.Holds = append(out.Holds, holdJSON{
+			ID: h.ID, Expires: h.Expires.UnixNano(),
+			Window: json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+		})
+	}
+	for _, c := range st.Committed {
+		var buf bytes.Buffer
+		if err := persist.WriteOwnedWindow(&buf, c.Window); err != nil {
+			return nil, fmt.Errorf("wal: encoding state commit %q: %w", c.ID, err)
+		}
+		out.Committed = append(out.Committed, commitJSON{
+			ID: c.ID, Window: json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// DecodeState deserializes a snapshot payload back into a full state.
+func DecodeState(payload []byte) (*inventory.State, error) {
+	var in stateJSON
+	if err := json.Unmarshal(payload, &in); err != nil {
+		return nil, fmt.Errorf("wal: decoding state: %w", err)
+	}
+	if in.Format != persist.FormatVersion {
+		return nil, fmt.Errorf("wal: unsupported state format %d (want %d)", in.Format, persist.FormatVersion)
+	}
+	st := &inventory.State{
+		Version:  in.Version,
+		Seq:      in.Seq,
+		NextID:   in.NextID,
+		Counters: in.Counters,
+	}
+	if len(in.Base) > 0 {
+		l, err := persist.ReadSlotList(bytes.NewReader(in.Base))
+		if err != nil {
+			return nil, fmt.Errorf("wal: decoding state base: %w", err)
+		}
+		// Restore re-merges per node; keep the persisted order otherwise.
+		st.Base = l
+	} else {
+		st.Base = slots.List{}
+	}
+	for _, h := range in.Holds {
+		w, err := persist.ReadOwnedWindow(bytes.NewReader(h.Window))
+		if err != nil {
+			return nil, fmt.Errorf("wal: decoding state hold %q: %w", h.ID, err)
+		}
+		st.Holds = append(st.Holds, inventory.HoldRecord{
+			ID: h.ID, Window: w, Expires: time.Unix(0, h.Expires),
+		})
+	}
+	for _, c := range in.Committed {
+		w, err := persist.ReadOwnedWindow(bytes.NewReader(c.Window))
+		if err != nil {
+			return nil, fmt.Errorf("wal: decoding state commit %q: %w", c.ID, err)
+		}
+		st.Committed = append(st.Committed, inventory.CommitRecord{ID: c.ID, Window: w})
+	}
+	return st, nil
+}

@@ -1,0 +1,269 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"slotsel/internal/inventory"
+)
+
+// Follower tails a leader's WAL directory and maintains a read-only
+// replica inventory. The directory is only ever read — repair never runs
+// on the follower side, so a follower can safely share the directory with
+// a live leader (same host or a shared filesystem).
+//
+// The replica runs on a frozen clock: holds only lapse when the leader's
+// own OpExpire events arrive, so replica state after applying event N is
+// byte-identical (including the published snapshot version) to the
+// leader's state after journaling event N.
+//
+// Not safe for concurrent use; drive Poll from one goroutine.
+type Follower struct {
+	dir string
+	inv *inventory.Inventory
+
+	// lastSeq and resyncs are atomics so a serving goroutine (the
+	// follower's statusz/metrics handlers) can read replication progress
+	// while the poll goroutine advances it.
+	lastSeq atomic.Uint64 // last applied sequence
+	resyncs atomic.Uint64
+
+	segPath string // segment being tailed ("" = pick on next poll)
+	offset  int64  // committed read offset into segPath
+}
+
+// NewFollower bootstraps a replica from the directory's current contents
+// (latest snapshot + readable tail). The directory may be empty or not
+// yet exist; the replica starts empty and picks the log up on later
+// polls. invOpts should carry the leader's MinSlotLength; Sink, Record
+// and Clock are overridden.
+func NewFollower(dir string, invOpts inventory.Options) (*Follower, error) {
+	invOpts.Sink = nil
+	invOpts.Record = false
+	frozen := time.Unix(0, 0)
+	invOpts.Clock = func() time.Time { return frozen }
+	inv, err := inventory.Replay(nil, invOpts)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{dir: dir, inv: inv}
+	if _, err := f.resync(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Inventory returns the replica. The pointer is stable across polls and
+// resyncs — hand it to a read-only server once.
+func (f *Follower) Inventory() *inventory.Inventory { return f.inv }
+
+// LastSeq returns the last applied sequence number. Safe to call from
+// any goroutine.
+func (f *Follower) LastSeq() uint64 { return f.lastSeq.Load() }
+
+// Resyncs returns how many times the follower had to fall back to a full
+// snapshot reload (compaction passed it, or damage appeared under it).
+// Safe to call from any goroutine.
+func (f *Follower) Resyncs() uint64 { return f.resyncs.Load() }
+
+// Poll applies every event currently readable past the follower's
+// position and returns how many were applied. A torn record at the log's
+// tail is not an error — the leader may be mid-write; the next poll
+// retries from the same committed offset. If the follower's position has
+// been compacted away (or the segment was repaired under it), it resyncs
+// from the latest snapshot.
+func (f *Follower) Poll() (int, error) {
+	applied, err := f.tail()
+	if err == nil {
+		return applied, nil
+	}
+	if !errors.Is(err, errResync) {
+		return applied, err
+	}
+	n, rerr := f.resync()
+	f.resyncs.Add(1)
+	return applied + n, rerr
+}
+
+// errResync signals that incremental tailing cannot continue and a full
+// snapshot reload is needed.
+var errResync = errors.New("wal: follower needs resync")
+
+// tail reads forward from the committed position.
+func (f *Follower) tail() (int, error) {
+	applied := 0
+	for {
+		if f.segPath == "" {
+			path, err := f.pickSegment()
+			if err != nil {
+				return applied, err
+			}
+			if path == "" {
+				return applied, nil // nothing new yet
+			}
+			f.segPath, f.offset = path, 0
+		}
+		n, advanced, err := f.tailSegment()
+		applied += n
+		if err != nil {
+			return applied, err
+		}
+		if !advanced {
+			return applied, nil
+		}
+		// Segment exhausted cleanly and a successor exists: switch.
+		f.segPath = ""
+	}
+}
+
+// pickSegment finds the segment containing lastSeq+1: the one with the
+// greatest firstSeq not beyond it. Returns "" when that event does not
+// exist yet (caught up) and errResync when the log has moved past us.
+func (f *Follower) pickSegment() (string, error) {
+	segs, err := listSegments(f.dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", nil // directory not created yet
+		}
+		return "", err
+	}
+	want := f.lastSeq.Load() + 1
+	best := ""
+	bestFirst := uint64(0)
+	for _, seg := range segs {
+		if seg.firstSeq <= want && (best == "" || seg.firstSeq > bestFirst) {
+			best, bestFirst = seg.path, seg.firstSeq
+		}
+	}
+	if best == "" {
+		if len(segs) > 0 {
+			// Every segment starts beyond us: compaction won.
+			return "", errResync
+		}
+		// No segments at all. If a snapshot is ahead of us, load it.
+		snaps, err := listSnapshots(f.dir)
+		if err == nil && len(snaps) > 0 && snaps[len(snaps)-1].seq > f.lastSeq.Load() {
+			return "", errResync
+		}
+		return "", nil
+	}
+	return best, nil
+}
+
+// tailSegment reads frames from the committed offset. It returns how many
+// events were applied and whether the caller should move to the next
+// segment (clean EOF with a successor present).
+func (f *Follower) tailSegment() (int, bool, error) {
+	file, err := os.Open(f.segPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, errResync // compacted under us
+		}
+		return 0, false, err
+	}
+	defer file.Close()
+	st, err := file.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	if st.Size() < f.offset {
+		// Shorter than our committed position: the leader repaired a torn
+		// tail we had not read anyway (tails are only committed after a
+		// whole valid frame), or the file was replaced. Start over.
+		return 0, false, errResync
+	}
+	if _, err := file.Seek(f.offset, io.SeekStart); err != nil {
+		return 0, false, err
+	}
+	r := bufio.NewReader(file)
+	applied := 0
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF || errors.Is(err, errTorn) {
+			// Caught up (a torn frame may simply be the leader mid-write;
+			// the committed offset stays before it).
+			return applied, err == io.EOF && f.hasSuccessor(), nil
+		}
+		if err != nil {
+			return applied, false, errResync // corrupt under us: reload
+		}
+		ev, err := DecodeEvent(payload)
+		if err != nil {
+			return applied, false, errResync
+		}
+		frameLen := frameHeaderSize + int64(len(payload))
+		last := f.lastSeq.Load()
+		if ev.Seq <= last {
+			f.offset += frameLen // duplicate of already-applied state
+			continue
+		}
+		if ev.Seq != last+1 {
+			return applied, false, errResync // gap: log moved past us
+		}
+		if err := f.inv.ApplyEvent(ev); err != nil {
+			return applied, false, fmt.Errorf("wal: follower apply: %w", err)
+		}
+		f.lastSeq.Store(ev.Seq)
+		f.offset += frameLen
+		applied++
+	}
+}
+
+// hasSuccessor reports whether a segment beginning at lastSeq+1 exists —
+// the rotation boundary case where the current segment is exhausted.
+func (f *Follower) hasSuccessor() bool {
+	segs, err := listSegments(f.dir)
+	if err != nil {
+		return false
+	}
+	for _, seg := range segs {
+		if seg.firstSeq == f.lastSeq.Load()+1 {
+			return seg.path != f.segPath
+		}
+	}
+	return false
+}
+
+// resync reloads the replica from the latest snapshot plus readable tail,
+// in place: the inventory pointer handed out by Inventory stays valid.
+func (f *Follower) resync() (int, error) {
+	res, err := Recover(f.dir, false)
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	if res.State != nil {
+		if res.State.Seq <= f.lastSeq.Load() {
+			// The snapshot is older than our live state; keep tailing from
+			// where we are rather than going backwards.
+			f.segPath, f.offset = "", 0
+			return 0, nil
+		}
+		if err := f.inv.ResetTo(res.State); err != nil {
+			return 0, err
+		}
+		f.lastSeq.Store(res.State.Seq)
+	}
+	for _, ev := range res.Events {
+		last := f.lastSeq.Load()
+		if ev.Seq <= last {
+			continue
+		}
+		if ev.Seq != last+1 {
+			return applied, fmt.Errorf("wal: follower resync gap at seq %d", ev.Seq)
+		}
+		if err := f.inv.ApplyEvent(ev); err != nil {
+			return applied, err
+		}
+		f.lastSeq.Store(ev.Seq)
+		applied++
+	}
+	// Position the tailer after what we just consumed: recompute lazily.
+	f.segPath, f.offset = "", 0
+	return applied, nil
+}

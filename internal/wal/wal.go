@@ -1,0 +1,459 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slotsel/internal/inventory"
+)
+
+// Default tuning for Options zero values.
+const (
+	// DefaultSegmentBytes is the segment rotation threshold.
+	DefaultSegmentBytes = 64 << 20
+
+	// DefaultSnapshotKeep is how many snapshots survive compaction.
+	DefaultSnapshotKeep = 2
+)
+
+// Options tunes a Store. The zero value is usable.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (checked between batches). 0 = DefaultSegmentBytes.
+	SegmentBytes int64
+
+	// SnapshotKeep is how many recent snapshots to retain; older ones are
+	// deleted by compaction. 0 = DefaultSnapshotKeep. The latest
+	// snapshot alone is enough for recovery; keeping one more guards
+	// against a snapshot that turns out corrupt on read.
+	SnapshotKeep int
+
+	// NoSync skips fsync (tests and benchmarks of the framing path only:
+	// it voids the durability contract).
+	NoSync bool
+
+	// OnFsync, when non-nil, observes the duration of every fsync of the
+	// active segment — the seam the server's fsync-latency histogram
+	// plugs into without coupling wal to the telemetry package.
+	OnFsync func(d time.Duration)
+}
+
+// Stats is a point-in-time durability summary (the /metricsz and
+// /v1/statusz source).
+type Stats struct {
+	// AppendedSeq is the highest sequence number accepted by Append.
+	AppendedSeq uint64 `json:"appended_seq"`
+
+	// DurableSeq is the highest sequence number known fsync'd; all lower
+	// sequences are durable too (appends are ordered).
+	DurableSeq uint64 `json:"durable_seq"`
+
+	// SnapshotSeq is the sequence covered by the latest snapshot (0 =
+	// none yet).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+
+	// SnapshotUnixNano is when the latest snapshot was written (0 =
+	// none this process lifetime).
+	SnapshotUnixNano int64 `json:"snapshot_unix_nano"`
+
+	// Fsyncs counts data fsyncs of the active segment.
+	Fsyncs uint64 `json:"fsyncs"`
+}
+
+// Store is the durable event log: an inventory.JournalSink whose Append
+// group-commits batches through a single writer goroutine.
+type Store struct {
+	dir  string
+	opts Options
+
+	// Telemetry atomics: read lock-free by metrics handlers.
+	appendedSeq atomic.Uint64
+	durableSeq  atomic.Uint64
+	snapSeq     atomic.Uint64
+	snapTime    atomic.Int64
+	fsyncs      atomic.Uint64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []inventory.Event
+	err    error // latched first I/O failure; permanent
+	closed bool
+	done   chan struct{}
+
+	// Writer-goroutine state (no lock needed: single owner).
+	f       *os.File
+	size    int64
+	buf     []byte
+	lastSeq uint64 // last seq handed to the writer, for ordering checks
+}
+
+// Create opens a Store over dir, appending after lastSeq (0 for a fresh
+// log). The directory is created if missing. Most callers want Open,
+// which recovers existing state first and derives lastSeq from it.
+func Create(dir string, lastSeq uint64, opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SnapshotKeep <= 0 {
+		opts.SnapshotKeep = DefaultSnapshotKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, done: make(chan struct{}), lastSeq: lastSeq}
+	s.cond = sync.NewCond(&s.mu)
+	s.appendedSeq.Store(lastSeq)
+	s.durableSeq.Store(lastSeq)
+	// Resume the newest existing segment if it can still grow; otherwise
+	// the first batch creates a fresh one.
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopening segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		s.f, s.size = f, st.Size()
+	}
+	if snaps, err := listSnapshots(dir); err == nil && len(snaps) > 0 {
+		s.snapSeq.Store(snaps[len(snaps)-1].seq)
+	}
+	go s.writer()
+	return s, nil
+}
+
+// Append implements inventory.JournalSink: it enqueues the event and
+// returns a wait that blocks until the event is fsync'd. Called with the
+// inventory mutex held, so it must not perform I/O.
+func (s *Store) Append(ev inventory.Event) (wait func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		err := s.err
+		if err == nil {
+			err = fmt.Errorf("wal: store closed")
+		}
+		return func() error { return err }
+	}
+	if s.err != nil {
+		err := s.err
+		return func() error { return err }
+	}
+	s.queue = append(s.queue, ev)
+	s.appendedSeq.Store(ev.Seq)
+	seq := ev.Seq
+	s.cond.Signal()
+	return func() error { return s.waitDurable(seq) }
+}
+
+// waitDurable blocks until seq is fsync'd or the store fails/closes.
+func (s *Store) waitDurable(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.durableSeq.Load() < seq && s.err == nil && !s.closed {
+		s.cond.Wait()
+	}
+	if s.durableSeq.Load() >= seq {
+		return nil
+	}
+	if s.err != nil {
+		return s.err
+	}
+	return fmt.Errorf("wal: store closed before seq %d became durable", seq)
+}
+
+// writer is the single log-writing goroutine: it drains whatever is
+// queued into one write+fsync (group commit) and releases the waiters.
+func (s *Store) writer() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed && s.err == nil {
+			s.cond.Wait()
+		}
+		if s.err != nil || (s.closed && len(s.queue) == 0) {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+
+		err := s.writeBatch(batch)
+
+		s.mu.Lock()
+		if err != nil {
+			s.err = fmt.Errorf("wal: %w", err)
+		} else {
+			s.durableSeq.Store(batch[len(batch)-1].Seq)
+		}
+		s.cond.Broadcast()
+		stop := s.err != nil
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// writeBatch encodes and appends one batch, rotating and fsyncing as
+// needed. Writer goroutine only.
+func (s *Store) writeBatch(batch []inventory.Event) error {
+	s.buf = s.buf[:0]
+	for _, ev := range batch {
+		if ev.Seq <= s.lastSeq {
+			return fmt.Errorf("out-of-order append: seq %d after %d", ev.Seq, s.lastSeq)
+		}
+		s.lastSeq = ev.Seq
+		payload, err := EncodeEvent(ev)
+		if err != nil {
+			return err
+		}
+		if len(payload) > MaxRecordBytes {
+			return fmt.Errorf("event %d encodes to %d bytes (max %d)", ev.Seq, len(payload), MaxRecordBytes)
+		}
+		s.buf = appendFrame(s.buf, payload)
+	}
+	if s.f == nil || s.size >= s.opts.SegmentBytes {
+		if err := s.rotate(batch[0].Seq); err != nil {
+			return err
+		}
+	}
+	if _, err := s.f.Write(s.buf); err != nil {
+		return err
+	}
+	s.size += int64(len(s.buf))
+	if !s.opts.NoSync {
+		begin := time.Now()
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+		if s.opts.OnFsync != nil {
+			s.opts.OnFsync(time.Since(begin))
+		}
+	}
+	s.fsyncs.Add(1)
+	return nil
+}
+
+// rotate closes the active segment and starts a fresh one whose name
+// carries the first sequence it will hold.
+func (s *Store) rotate(firstSeq uint64) error {
+	if s.f != nil {
+		if err := s.f.Close(); err != nil {
+			return err
+		}
+		s.f = nil
+	}
+	path := filepath.Join(s.dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.f, s.size = f, 0
+	return nil
+}
+
+// Snapshot persists a full state and compacts the log behind it: segments
+// wholly covered by the snapshot and all but the SnapshotKeep newest
+// snapshots are deleted. It first waits for the log to be durable through
+// state.Seq — a snapshot claiming to cover events the log has not fsync'd
+// yet would let a crash lose them invisibly.
+func (s *Store) Snapshot(st *inventory.State) error {
+	if err := s.waitDurable(st.Seq); err != nil {
+		return err
+	}
+	payload, err := EncodeState(st)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, snapshotName(st.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	_, werr := f.Write(appendFrame(nil, payload))
+	if werr == nil && !s.opts.NoSync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publishing snapshot: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	s.snapSeq.Store(st.Seq)
+	s.snapTime.Store(time.Now().UnixNano())
+	s.compact(st.Seq)
+	return nil
+}
+
+// compact deletes snapshots beyond the retention count and segments whose
+// every event is covered by the given snapshot sequence. Best-effort:
+// compaction failures never fail the snapshot that triggered them.
+func (s *Store) compact(snapSeq uint64) {
+	if snaps, err := listSnapshots(s.dir); err == nil && len(snaps) > s.opts.SnapshotKeep {
+		for _, sn := range snaps[:len(snaps)-s.opts.SnapshotKeep] {
+			os.Remove(sn.path)
+		}
+	}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		// Segment i ends where segment i+1 begins: it is disposable iff
+		// every sequence before that boundary is covered by the snapshot.
+		if segs[i+1].firstSeq <= snapSeq+1 {
+			os.Remove(segs[i].path)
+		} else {
+			break
+		}
+	}
+}
+
+// Stats returns the durability counters. Lock-free.
+func (s *Store) Stats() Stats {
+	return Stats{
+		AppendedSeq:      s.appendedSeq.Load(),
+		DurableSeq:       s.durableSeq.Load(),
+		SnapshotSeq:      s.snapSeq.Load(),
+		SnapshotUnixNano: s.snapTime.Load(),
+		Fsyncs:           s.fsyncs.Load(),
+	}
+}
+
+// Err returns the latched I/O error, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close drains the queue, fsyncs, and stops the writer. Appends after
+// Close fail immediately.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return s.err
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		if err := s.f.Close(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("wal: %w", err)
+		}
+		s.f = nil
+	}
+	return s.err
+}
+
+// ---- directory scanning ----
+
+type segmentInfo struct {
+	path     string
+	firstSeq uint64
+}
+
+type snapshotInfo struct {
+	path string
+	seq  uint64
+}
+
+func segmentName(firstSeq uint64) string { return fmt.Sprintf("wal-%016x.log", firstSeq) }
+func snapshotName(seq uint64) string     { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// listSegments returns the log segments sorted by first sequence.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(dir, name), firstSeq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// listSnapshots returns the snapshots sorted by covered sequence.
+func listSnapshots(dir string) ([]snapshotInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var snaps []snapshotInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snapshotInfo{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
+	return snaps, nil
+}
+
+// syncDir fsyncs a directory so entry creation/rename/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,4199 @@
+// Machine-generated benchmark trajectory; do not edit by hand.
+// Append a run:  go run ./cmd/slotbench -accum results/data.js -label NAME bench.txt
+// Render:        open results/dashboard.html
+window.SLOTBENCH_TRAJECTORY = [
+  {
+    "label": "issue-4",
+    "time": "2026-08-08T06:44:31Z",
+    "results": [
+      {
+        "name": "BenchmarkBatch/nodes=128/jobs=8",
+        "ns_per_op": 1046703,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkBatch/nodes=16/jobs=8",
+        "ns_per_op": 246166,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkBatch/nodes=32/jobs=8",
+        "ns_per_op": 352965,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkBatch/nodes=64/jobs=8",
+        "ns_per_op": 628178,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=10",
+        "ns_per_op": 510655,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=2",
+        "ns_per_op": 215253,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=5",
+        "ns_per_op": 367556,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=10",
+        "ns_per_op": 9379,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=2",
+        "ns_per_op": 63251,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=5",
+        "ns_per_op": 66650,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=10",
+        "ns_per_op": 366275,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=2",
+        "ns_per_op": 64668,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=5",
+        "ns_per_op": 101986,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=10",
+        "ns_per_op": 864073,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=2",
+        "ns_per_op": 120892,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=5",
+        "ns_per_op": 190416,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 10129,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 9979,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 40329,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7455,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 1188,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 1275,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 1986,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 1836,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 1810,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 17632,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 4080,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 3924,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 9736,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 8291,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 24535,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 10953,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 1386,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 1366,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 2015,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 1947,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 1995,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 13134,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 4406,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 4333,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 301519,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 289829,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 302862,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7401,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 9985,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 8340,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 23045,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 26557,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 24778,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 106268,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 122039,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 106589,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 2806283,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 2919738,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 2749954,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 10714,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 34697,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 33912,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 130272,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 128007,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 123765,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 615338,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 630070,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 679930,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 2673226,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 1019598,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 1643920,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7513,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 19722,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 14899,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 40159,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 66683,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 77140,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 560851,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 280086,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 417021,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 5095898,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3478583,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 4038378,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 11457,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 49782,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 41950,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 152492,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 167236,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 186045,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 1128380,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 831033,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 982522,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 749254,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 515552,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 907487,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7542,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 18673,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 11659,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 27500,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 43980,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 47324,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 211440,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 257060,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 184683,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3458181,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3033110,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3073676,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 11358,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 43775,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 39418,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 146384,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 148982,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 157811,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 837487,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 700911,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 765923,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 895626,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 543472,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 632513,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 12499,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 25027,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 80361,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 76152,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 53665,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 60802,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 296597,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 188291,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 211873,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3749660,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3293387,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3385797,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 14958,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 54857,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 47530,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 189971,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 193839,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 171469,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 947651,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 893238,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 827598,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 220609,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 183660,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 188872,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 5771,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 10532,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 11638,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 28656,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 20061,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 51918,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 84809,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 61876,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 64354,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 221431,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 188078,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 189206,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 5531,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 8947,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 13489,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 32997,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 20409,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 34018,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 78150,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 154613,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 190117,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 1601075,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 1556605,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 1084392,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7242,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 15813,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 12197,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 30970,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 49759,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 57396,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 579667,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 455119,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 524183,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 4649485,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3188665,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3588367,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 12062,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 48027,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 40500,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 143949,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 155780,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 167248,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 923593,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 769933,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 840300,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 1008833,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 483249,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 566582,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7435,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 13253,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 9756,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 23687,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 34465,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 35223,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 418110,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 146280,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 153153,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3155955,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3071816,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3062245,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 11969,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 74982,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 43135,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 139185,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 151197,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 161006,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 734006,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 702528,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 743007,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 780610,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 1682845,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 929298,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 13472,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 31498,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 21636,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 58131,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 50766,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 59478,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 358832,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 178513,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 200672,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3828218,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3260940,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3516986,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 15427,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 77508,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 45157,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 151510,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 140560,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 154895,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 926250,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 800575,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 825302,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      }
+    ]
+  },
+  {
+    "label": "issue-5",
+    "time": "2026-08-08T06:44:31Z",
+    "results": [
+      {
+        "name": "BenchmarkBatch/nodes=128/jobs=8",
+        "ns_per_op": 547873,
+        "bytes_per_op": 269307.2,
+        "allocs_per_op": 1706.4
+      },
+      {
+        "name": "BenchmarkBatch/nodes=16/jobs=8",
+        "ns_per_op": 192852,
+        "bytes_per_op": 124603.2,
+        "allocs_per_op": 904.4
+      },
+      {
+        "name": "BenchmarkBatch/nodes=32/jobs=8",
+        "ns_per_op": 249574,
+        "bytes_per_op": 136091.2,
+        "allocs_per_op": 984.4
+      },
+      {
+        "name": "BenchmarkBatch/nodes=64/jobs=8",
+        "ns_per_op": 339217,
+        "bytes_per_op": 184811.2,
+        "allocs_per_op": 1384.4
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=10",
+        "ns_per_op": 159992,
+        "bytes_per_op": 6490.72,
+        "allocs_per_op": 125.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=2",
+        "ns_per_op": 73561,
+        "bytes_per_op": 2010.72,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=5",
+        "ns_per_op": 96935,
+        "bytes_per_op": 3690.72,
+        "allocs_per_op": 75.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=10",
+        "ns_per_op": 7111,
+        "bytes_per_op": 2.72,
+        "allocs_per_op": 0.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=2",
+        "ns_per_op": 11944,
+        "bytes_per_op": 2010.72,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=5",
+        "ns_per_op": 27817,
+        "bytes_per_op": 2186.72,
+        "allocs_per_op": 46.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=10",
+        "ns_per_op": 55029,
+        "bytes_per_op": 3242.72,
+        "allocs_per_op": 64.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=2",
+        "ns_per_op": 13259,
+        "bytes_per_op": 2010.72,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=5",
+        "ns_per_op": 26361,
+        "bytes_per_op": 3690.72,
+        "allocs_per_op": 75.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=10",
+        "ns_per_op": 105382,
+        "bytes_per_op": 6490.72,
+        "allocs_per_op": 125.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=2",
+        "ns_per_op": 33304,
+        "bytes_per_op": 2010.72,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=5",
+        "ns_per_op": 52115,
+        "bytes_per_op": 3690.72,
+        "allocs_per_op": 75.04
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 6886,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 7921,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 6840,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7863,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 598,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 610,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 1025,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 1025,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 1014,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 2796,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 2756,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 2716,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 7779,
+        "bytes_per_op": 2560.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 7793,
+        "bytes_per_op": 2304.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 7819,
+        "bytes_per_op": 2400.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 10980,
+        "bytes_per_op": 4352.68,
+        "allocs_per_op": 50.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 1374,
+        "bytes_per_op": 640.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 1313,
+        "bytes_per_op": 736.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 1783,
+        "bytes_per_op": 1088.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 1890,
+        "bytes_per_op": 832.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 1809,
+        "bytes_per_op": 928.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 4145,
+        "bytes_per_op": 1664.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 4091,
+        "bytes_per_op": 1408.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 4122,
+        "bytes_per_op": 1504.68,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 261231,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 266544,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 261059,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 6957,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 7715,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 7211,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 18973,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 20716,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 20362,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 78142,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 79813,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 80037,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 2781819,
+        "bytes_per_op": 727947.2,
+        "allocs_per_op": 1956.92
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 2733057,
+        "bytes_per_op": 724876.6,
+        "allocs_per_op": 1944.96
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 2816149,
+        "bytes_per_op": 726282.08,
+        "allocs_per_op": 1954.91
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 10866,
+        "bytes_per_op": 4352.68,
+        "allocs_per_op": 50.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 42191,
+        "bytes_per_op": 19281.36,
+        "allocs_per_op": 272.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 30719,
+        "bytes_per_op": 18433.36,
+        "allocs_per_op": 252.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 133003,
+        "bytes_per_op": 51427.44,
+        "allocs_per_op": 480.07
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 126998,
+        "bytes_per_op": 51170.28,
+        "allocs_per_op": 480.04
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 126763,
+        "bytes_per_op": 51267.2,
+        "allocs_per_op": 480.06
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 684962,
+        "bytes_per_op": 204108.64,
+        "allocs_per_op": 1018.27
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 662119,
+        "bytes_per_op": 202957.08,
+        "allocs_per_op": 1016.27
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 676177,
+        "bytes_per_op": 203916.4,
+        "allocs_per_op": 1022.26
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 1331427,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 597182,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 922037,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 6995,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 12951,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 10774,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 26537,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 43005,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 48395,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 297209,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 172423,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 236010,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 5015168,
+        "bytes_per_op": 844147.08,
+        "allocs_per_op": 2442.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3948622,
+        "bytes_per_op": 747884.4,
+        "allocs_per_op": 2425.94
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 4228304,
+        "bytes_per_op": 787150.08,
+        "allocs_per_op": 2429.98
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 11848,
+        "bytes_per_op": 7264.68,
+        "allocs_per_op": 63.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 45223,
+        "bytes_per_op": 22529.36,
+        "allocs_per_op": 340.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 40828,
+        "bytes_per_op": 26625.44,
+        "allocs_per_op": 317.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 179433,
+        "bytes_per_op": 80021.44,
+        "allocs_per_op": 600.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 184982,
+        "bytes_per_op": 56915.52,
+        "allocs_per_op": 600.07
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 199016,
+        "bytes_per_op": 66532.2,
+        "allocs_per_op": 600.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 1107407,
+        "bytes_per_op": 265009.56,
+        "allocs_per_op": 1273.36
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 869247,
+        "bytes_per_op": 214829.64,
+        "allocs_per_op": 1265.28
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 1052378,
+        "bytes_per_op": 235758.32,
+        "allocs_per_op": 1271.29
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 658674,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 453198,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 541038,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7171,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 10218,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 9063,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 22061,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 29808,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 31147,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 161673,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 125998,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 146503,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3496668,
+        "bytes_per_op": 1018087,
+        "allocs_per_op": 3347.36
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3027270,
+        "bytes_per_op": 809432.52,
+        "allocs_per_op": 3387.05
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3300895,
+        "bytes_per_op": 893759.88,
+        "allocs_per_op": 3381.21
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 12213,
+        "bytes_per_op": 7240.68,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 40349,
+        "bytes_per_op": 29033.36,
+        "allocs_per_op": 441.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 37660,
+        "bytes_per_op": 30858.04,
+        "allocs_per_op": 354.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 165945,
+        "bytes_per_op": 89597.72,
+        "allocs_per_op": 649.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 168752,
+        "bytes_per_op": 71612.12,
+        "allocs_per_op": 829.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 155573,
+        "bytes_per_op": 88684.8,
+        "allocs_per_op": 797.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 856906,
+        "bytes_per_op": 351390.28,
+        "allocs_per_op": 1722.47
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 750041,
+        "bytes_per_op": 246679.16,
+        "allocs_per_op": 1762.32
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 801337,
+        "bytes_per_op": 289722.84,
+        "allocs_per_op": 1752.4
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 715699,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 448127,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 505019,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 10219,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 14514,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 13932,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 39436,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 40559,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 42458,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 235981,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 138492,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 173347,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3685572,
+        "bytes_per_op": 1128972.28,
+        "allocs_per_op": 3809.47
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3308030,
+        "bytes_per_op": 832569.88,
+        "allocs_per_op": 3869.07
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3390340,
+        "bytes_per_op": 955074.64,
+        "allocs_per_op": 3860.27
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 14877,
+        "bytes_per_op": 7240.68,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 48477,
+        "bytes_per_op": 31529.36,
+        "allocs_per_op": 493.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 47472,
+        "bytes_per_op": 33546.04,
+        "allocs_per_op": 375.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 171836,
+        "bytes_per_op": 95837.72,
+        "allocs_per_op": 675.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 152576,
+        "bytes_per_op": 77181.04,
+        "allocs_per_op": 945.1
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 197355,
+        "bytes_per_op": 101485.96,
+        "allocs_per_op": 897.12
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 1018444,
+        "bytes_per_op": 406593.04,
+        "allocs_per_op": 1952.53
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 866053,
+        "bytes_per_op": 258680.32,
+        "allocs_per_op": 2012.35
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 878227,
+        "bytes_per_op": 321084.44,
+        "allocs_per_op": 1997.43
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 170391,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 156443,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 151230,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 4351,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 5273,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 6118,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 19372,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 14311,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 19912,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 56923,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 46742,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 47198,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 335946,
+        "bytes_per_op": 337914.24,
+        "allocs_per_op": 981.32
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 215501,
+        "bytes_per_op": 254709.68,
+        "allocs_per_op": 1153.24
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 266828,
+        "bytes_per_op": 286263.04,
+        "allocs_per_op": 1011.26
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 5135,
+        "bytes_per_op": 4024.68,
+        "allocs_per_op": 27.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 9403,
+        "bytes_per_op": 8720.68,
+        "allocs_per_op": 153.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 9709,
+        "bytes_per_op": 12712.68,
+        "allocs_per_op": 131.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 30607,
+        "bytes_per_op": 42218.04,
+        "allocs_per_op": 243.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 20013,
+        "bytes_per_op": 21929.36,
+        "allocs_per_op": 287.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 29303,
+        "bytes_per_op": 30522.04,
+        "allocs_per_op": 259.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 87379,
+        "bytes_per_op": 119870.6,
+        "allocs_per_op": 519.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 65602,
+        "bytes_per_op": 75196.56,
+        "allocs_per_op": 601.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 68030,
+        "bytes_per_op": 91581.24,
+        "allocs_per_op": 527.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 1382225,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 729925,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 992537,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7250,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 13030,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 10853,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 26797,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 44200,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 47524,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 293809,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 192602,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 257412,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 4256937,
+        "bytes_per_op": 841811.96,
+        "allocs_per_op": 2429.12
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3296073,
+        "bytes_per_op": 747981.52,
+        "allocs_per_op": 2426.98
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3741599,
+        "bytes_per_op": 786895.6,
+        "allocs_per_op": 2427.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 11438,
+        "bytes_per_op": 7232.68,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 40935,
+        "bytes_per_op": 22625.6,
+        "allocs_per_op": 341.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 44173,
+        "bytes_per_op": 26369.36,
+        "allocs_per_op": 314.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 173904,
+        "bytes_per_op": 81141.04,
+        "allocs_per_op": 605.1
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 167816,
+        "bytes_per_op": 56883.2,
+        "allocs_per_op": 599.06
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 178997,
+        "bytes_per_op": 67396.12,
+        "allocs_per_op": 607.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 950757,
+        "bytes_per_op": 264209,
+        "allocs_per_op": 1268.36
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 820236,
+        "bytes_per_op": 214925.32,
+        "allocs_per_op": 1266.28
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 843066,
+        "bytes_per_op": 235055.16,
+        "allocs_per_op": 1264.32
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 674377,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 438988,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 530739,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 6736,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 10077,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 8862,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 23167,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 28339,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 31332,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 157972,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 133564,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 141176,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3235171,
+        "bytes_per_op": 841434.12,
+        "allocs_per_op": 2427.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3062539,
+        "bytes_per_op": 747859.92,
+        "allocs_per_op": 2424.95
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3155487,
+        "bytes_per_op": 786680.04,
+        "allocs_per_op": 2425.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 11805,
+        "bytes_per_op": 7240.68,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 38590,
+        "bytes_per_op": 22505.36,
+        "allocs_per_op": 339.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 37689,
+        "bytes_per_op": 26377.6,
+        "allocs_per_op": 314.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 151552,
+        "bytes_per_op": 80765.04,
+        "allocs_per_op": 603.1
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 143275,
+        "bytes_per_op": 56891.2,
+        "allocs_per_op": 599.06
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 171084,
+        "bytes_per_op": 66508.12,
+        "allocs_per_op": 599.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 768748,
+        "bytes_per_op": 263832.32,
+        "allocs_per_op": 1266.35
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 818201,
+        "bytes_per_op": 214805.56,
+        "allocs_per_op": 1264.29
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 737883,
+        "bytes_per_op": 235063.4,
+        "allocs_per_op": 1264.33
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 694246,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 452313,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 506063,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 10726,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 18991,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 13262,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 39579,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 58155,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 42031,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 215785,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 136341,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 166073,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3710733,
+        "bytes_per_op": 952321.24,
+        "allocs_per_op": 2889.23
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3430183,
+        "bytes_per_op": 770997.96,
+        "allocs_per_op": 2906.98
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3314086,
+        "bytes_per_op": 847997.8,
+        "allocs_per_op": 2904.16
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 15850,
+        "bytes_per_op": 7240.68,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 50775,
+        "bytes_per_op": 25001.6,
+        "allocs_per_op": 391.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 42461,
+        "bytes_per_op": 29065.36,
+        "allocs_per_op": 335.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 164777,
+        "bytes_per_op": 87004.8,
+        "allocs_per_op": 629.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 232830,
+        "bytes_per_op": 62459.44,
+        "allocs_per_op": 715.07
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 165756,
+        "bytes_per_op": 79308.8,
+        "allocs_per_op": 699.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 888951,
+        "bytes_per_op": 319035.52,
+        "allocs_per_op": 1496.41
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 797646,
+        "bytes_per_op": 226806.24,
+        "allocs_per_op": 1514.3
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 818887,
+        "bytes_per_op": 266425,
+        "allocs_per_op": 1509.36
+      }
+    ]
+  },
+  {
+    "label": "pr7-baseline",
+    "time": "2026-08-08T06:44:32Z",
+    "results": [
+      {
+        "name": "BenchmarkBatch/nodes=128/jobs=8",
+        "ns_per_op": 713970,
+        "bytes_per_op": 269307,
+        "allocs_per_op": 1706.4
+      },
+      {
+        "name": "BenchmarkBatch/nodes=16/jobs=8",
+        "ns_per_op": 241808,
+        "bytes_per_op": 124603,
+        "allocs_per_op": 904.4
+      },
+      {
+        "name": "BenchmarkBatch/nodes=32/jobs=8",
+        "ns_per_op": 372311,
+        "bytes_per_op": 136091,
+        "allocs_per_op": 984.4
+      },
+      {
+        "name": "BenchmarkBatch/nodes=64/jobs=8",
+        "ns_per_op": 472206,
+        "bytes_per_op": 184811,
+        "allocs_per_op": 1384.4
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=10",
+        "ns_per_op": 219811,
+        "bytes_per_op": 6491,
+        "allocs_per_op": 125.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=2",
+        "ns_per_op": 136129,
+        "bytes_per_op": 2011,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=128/tasks=5",
+        "ns_per_op": 913702,
+        "bytes_per_op": 3691,
+        "allocs_per_op": 75.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=10",
+        "ns_per_op": 8923,
+        "bytes_per_op": 3,
+        "allocs_per_op": 0.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=2",
+        "ns_per_op": 25118,
+        "bytes_per_op": 2011,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=16/tasks=5",
+        "ns_per_op": 52428,
+        "bytes_per_op": 2187,
+        "allocs_per_op": 46.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=10",
+        "ns_per_op": 92550,
+        "bytes_per_op": 3243,
+        "allocs_per_op": 64.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=2",
+        "ns_per_op": 17620,
+        "bytes_per_op": 2011,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=32/tasks=5",
+        "ns_per_op": 42338,
+        "bytes_per_op": 3691,
+        "allocs_per_op": 75.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=10",
+        "ns_per_op": 145814,
+        "bytes_per_op": 6491,
+        "allocs_per_op": 125.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=2",
+        "ns_per_op": 54988,
+        "bytes_per_op": 2011,
+        "allocs_per_op": 45.04
+      },
+      {
+        "name": "BenchmarkCSA/nodes=64/tasks=5",
+        "ns_per_op": 83200,
+        "bytes_per_op": 3691,
+        "allocs_per_op": 75.04
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 8857,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 9144,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 7674,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 8372,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 664,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 949,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 1095,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 1263,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 1012,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 3180,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 4021,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 3511,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 17792,
+        "bytes_per_op": 2561,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 10481,
+        "bytes_per_op": 2305,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 12160,
+        "bytes_per_op": 2401,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 14417,
+        "bytes_per_op": 4353,
+        "allocs_per_op": 50.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 1618,
+        "bytes_per_op": 641,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 2216,
+        "bytes_per_op": 737,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 2406,
+        "bytes_per_op": 1089,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 2150,
+        "bytes_per_op": 833,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 2254,
+        "bytes_per_op": 929,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 5515,
+        "bytes_per_op": 1665,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 6087,
+        "bytes_per_op": 1409,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=AMP/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 5722,
+        "bytes_per_op": 1505,
+        "allocs_per_op": 8.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 395090,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 274170,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 279518,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7214,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 9280,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 11347,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 26466,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 27776,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 25554,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 91636,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 124484,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 123544,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 6318008,
+        "bytes_per_op": 727953,
+        "allocs_per_op": 1957.05
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 4479013,
+        "bytes_per_op": 724880,
+        "allocs_per_op": 1945.04
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3889706,
+        "bytes_per_op": 726289,
+        "allocs_per_op": 1955.05
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 18294,
+        "bytes_per_op": 4353,
+        "allocs_per_op": 50.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 54805,
+        "bytes_per_op": 19282,
+        "allocs_per_op": 272.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 54327,
+        "bytes_per_op": 18434,
+        "allocs_per_op": 252.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 152571,
+        "bytes_per_op": 51427,
+        "allocs_per_op": 480.06
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 175527,
+        "bytes_per_op": 51171,
+        "allocs_per_op": 480.05
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 155471,
+        "bytes_per_op": 51267,
+        "allocs_per_op": 480.07
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 802710,
+        "bytes_per_op": 204109,
+        "allocs_per_op": 1018.28
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 802490,
+        "bytes_per_op": 202958,
+        "allocs_per_op": 1016.29
+      },
+      {
+        "name": "BenchmarkFind/alg=MinCost/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 773625,
+        "bytes_per_op": 203917,
+        "allocs_per_op": 1022.28
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 1380537,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 630330,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 1133143,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 8369,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 14804,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 17771,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 39337,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 52210,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 62208,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 338069,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 219745,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 289122,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 7696830,
+        "bytes_per_op": 844154,
+        "allocs_per_op": 2442.23
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 4013582,
+        "bytes_per_op": 747891,
+        "allocs_per_op": 2426.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 5816899,
+        "bytes_per_op": 787157,
+        "allocs_per_op": 2430.12
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 17308,
+        "bytes_per_op": 7265,
+        "allocs_per_op": 63.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 55218,
+        "bytes_per_op": 22530,
+        "allocs_per_op": 340.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 72450,
+        "bytes_per_op": 26625,
+        "allocs_per_op": 317.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 217693,
+        "bytes_per_op": 80021,
+        "allocs_per_op": 600.1
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 201336,
+        "bytes_per_op": 56916,
+        "allocs_per_op": 600.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 234916,
+        "bytes_per_op": 66532,
+        "allocs_per_op": 600.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 1181574,
+        "bytes_per_op": 265010,
+        "allocs_per_op": 1273.38
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 1119140,
+        "bytes_per_op": 214831,
+        "allocs_per_op": 1265.31
+      },
+      {
+        "name": "BenchmarkFind/alg=MinEnergy/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 1003619,
+        "bytes_per_op": 235760,
+        "allocs_per_op": 1271.33
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 715791,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 482766,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 583475,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 7609,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 11630,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 15966,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 31051,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 45252,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 39051,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 458882,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 152328,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 194173,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 5695942,
+        "bytes_per_op": 1018092,
+        "allocs_per_op": 3347.46
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3149844,
+        "bytes_per_op": 809438,
+        "allocs_per_op": 3387.15
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 4507093,
+        "bytes_per_op": 893763,
+        "allocs_per_op": 3381.28
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 19431,
+        "bytes_per_op": 7241,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 58160,
+        "bytes_per_op": 29034,
+        "allocs_per_op": 441.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 67562,
+        "bytes_per_op": 30858,
+        "allocs_per_op": 354.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 204250,
+        "bytes_per_op": 89598,
+        "allocs_per_op": 649.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 225110,
+        "bytes_per_op": 71613,
+        "allocs_per_op": 829.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 255157,
+        "bytes_per_op": 88686,
+        "allocs_per_op": 797.12
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 1559315,
+        "bytes_per_op": 351391,
+        "allocs_per_op": 1722.49
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 890226,
+        "bytes_per_op": 246680,
+        "allocs_per_op": 1762.33
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinish/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 826953,
+        "bytes_per_op": 289724,
+        "allocs_per_op": 1752.42
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 853130,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 589859,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 579655,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 14239,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 16498,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 27291,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 64414,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 59806,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 66197,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 264800,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 175635,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 262535,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 4281934,
+        "bytes_per_op": 1128979,
+        "allocs_per_op": 3809.63
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 6708198,
+        "bytes_per_op": 832575,
+        "allocs_per_op": 3869.18
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 7486540,
+        "bytes_per_op": 955080,
+        "allocs_per_op": 3860.38
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 17350,
+        "bytes_per_op": 7241,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 76907,
+        "bytes_per_op": 31531,
+        "allocs_per_op": 493.05
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 86826,
+        "bytes_per_op": 33547,
+        "allocs_per_op": 375.05
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 219204,
+        "bytes_per_op": 95838,
+        "allocs_per_op": 675.13
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 222076,
+        "bytes_per_op": 77181,
+        "allocs_per_op": 945.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 212693,
+        "bytes_per_op": 101487,
+        "allocs_per_op": 897.13
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 1112999,
+        "bytes_per_op": 406594,
+        "allocs_per_op": 1952.55
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 833725,
+        "bytes_per_op": 258681,
+        "allocs_per_op": 2012.36
+      },
+      {
+        "name": "BenchmarkFind/alg=MinFinishExact/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 1314817,
+        "bytes_per_op": 321086,
+        "allocs_per_op": 1997.47
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 212374,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 501661,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 191370,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 5683,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 6774,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 12240,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 29991,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 16820,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 19751,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 59363,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 52787,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 74448,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 364426,
+        "bytes_per_op": 337915,
+        "allocs_per_op": 981.36
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 540341,
+        "bytes_per_op": 254710,
+        "allocs_per_op": 1153.26
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 313681,
+        "bytes_per_op": 286264,
+        "allocs_per_op": 1011.27
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 8020,
+        "bytes_per_op": 4025,
+        "allocs_per_op": 27.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 13853,
+        "bytes_per_op": 8721,
+        "allocs_per_op": 153.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 19408,
+        "bytes_per_op": 12713,
+        "allocs_per_op": 131.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 43426,
+        "bytes_per_op": 42219,
+        "allocs_per_op": 243.04
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 31387,
+        "bytes_per_op": 21929,
+        "allocs_per_op": 287.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 33696,
+        "bytes_per_op": 30522,
+        "allocs_per_op": 259.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 136719,
+        "bytes_per_op": 119871,
+        "allocs_per_op": 519.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 117712,
+        "bytes_per_op": 75197,
+        "allocs_per_op": 601.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTime/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 101158,
+        "bytes_per_op": 91581,
+        "allocs_per_op": 527.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 1638987,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 1479231,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 1176888,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 9136,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 17239,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 16876,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 33811,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 62708,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 63873,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 347148,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 239688,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 271955,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 6771426,
+        "bytes_per_op": 841814,
+        "allocs_per_op": 2429.17
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3773412,
+        "bytes_per_op": 747986,
+        "allocs_per_op": 2427.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 4471543,
+        "bytes_per_op": 786900,
+        "allocs_per_op": 2427.12
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 14770,
+        "bytes_per_op": 7233,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 50640,
+        "bytes_per_op": 22626,
+        "allocs_per_op": 341.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 67508,
+        "bytes_per_op": 26369,
+        "allocs_per_op": 314.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 193429,
+        "bytes_per_op": 81141,
+        "allocs_per_op": 605.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 196115,
+        "bytes_per_op": 56884,
+        "allocs_per_op": 599.07
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 223724,
+        "bytes_per_op": 67396,
+        "allocs_per_op": 607.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 992031,
+        "bytes_per_op": 264210,
+        "allocs_per_op": 1268.37
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 933155,
+        "bytes_per_op": 214926,
+        "allocs_per_op": 1266.31
+      },
+      {
+        "name": "BenchmarkFind/alg=MinProcTimeGreedy/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 902538,
+        "bytes_per_op": 235055,
+        "allocs_per_op": 1264.32
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 729028,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 1223548,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 788433,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 10677,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 11679,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 13811,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 30888,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 45548,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 34634,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 192089,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 150198,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 187316,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 3403195,
+        "bytes_per_op": 841441,
+        "allocs_per_op": 2427.23
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 4389248,
+        "bytes_per_op": 747866,
+        "allocs_per_op": 2425.07
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 6158816,
+        "bytes_per_op": 786684,
+        "allocs_per_op": 2425.12
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 15120,
+        "bytes_per_op": 7241,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 48475,
+        "bytes_per_op": 22505,
+        "allocs_per_op": 339.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 66736,
+        "bytes_per_op": 26378,
+        "allocs_per_op": 314.03
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 194975,
+        "bytes_per_op": 80765,
+        "allocs_per_op": 603.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 217083,
+        "bytes_per_op": 56891,
+        "allocs_per_op": 599.06
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 171878,
+        "bytes_per_op": 66508,
+        "allocs_per_op": 599.09
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 1455879,
+        "bytes_per_op": 263834,
+        "allocs_per_op": 1266.38
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 818384,
+        "bytes_per_op": 214806,
+        "allocs_per_op": 1264.31
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTime/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 890988,
+        "bytes_per_op": 235064,
+        "allocs_per_op": 1264.34
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=10",
+        "ns_per_op": 718206,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=2",
+        "ns_per_op": 577412,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=128/tasks=5",
+        "ns_per_op": 565075,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=10",
+        "ns_per_op": 11831,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=2",
+        "ns_per_op": 23170,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=16/tasks=5",
+        "ns_per_op": 25985,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=10",
+        "ns_per_op": 72960,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=2",
+        "ns_per_op": 67925,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=32/tasks=5",
+        "ns_per_op": 60902,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=10",
+        "ns_per_op": 811299,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=2",
+        "ns_per_op": 179239,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=incremental/nodes=64/tasks=5",
+        "ns_per_op": 231007,
+        "bytes_per_op": 0,
+        "allocs_per_op": 0
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=10",
+        "ns_per_op": 5029916,
+        "bytes_per_op": 952327,
+        "allocs_per_op": 2889.36
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=2",
+        "ns_per_op": 3571636,
+        "bytes_per_op": 771003,
+        "allocs_per_op": 2907.11
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=128/tasks=5",
+        "ns_per_op": 3741916,
+        "bytes_per_op": 848001,
+        "allocs_per_op": 2904.22
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=10",
+        "ns_per_op": 17595,
+        "bytes_per_op": 7241,
+        "allocs_per_op": 62.01
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=2",
+        "ns_per_op": 62538,
+        "bytes_per_op": 25001,
+        "allocs_per_op": 391.02
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=16/tasks=5",
+        "ns_per_op": 92600,
+        "bytes_per_op": 29066,
+        "allocs_per_op": 335.04
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=10",
+        "ns_per_op": 185652,
+        "bytes_per_op": 87006,
+        "allocs_per_op": 629.12
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=2",
+        "ns_per_op": 207708,
+        "bytes_per_op": 62460,
+        "allocs_per_op": 715.08
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=32/tasks=5",
+        "ns_per_op": 186510,
+        "bytes_per_op": 79309,
+        "allocs_per_op": 699.1
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=10",
+        "ns_per_op": 2499879,
+        "bytes_per_op": 319038,
+        "allocs_per_op": 1496.46
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=2",
+        "ns_per_op": 840537,
+        "bytes_per_op": 226806,
+        "allocs_per_op": 1514.31
+      },
+      {
+        "name": "BenchmarkFind/alg=MinRunTimeExact/kernel=oracle/nodes=64/tasks=5",
+        "ns_per_op": 917462,
+        "bytes_per_op": 266425,
+        "allocs_per_op": 1509.36
+      }
+    ]
+  }
+];
