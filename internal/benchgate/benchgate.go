@@ -128,6 +128,11 @@ type Delta struct {
 	P float64
 
 	Regressed bool
+
+	// Improved mirrors Regressed on the other side: the calibrated ratio
+	// moved past the threshold downward with significance. Improvements
+	// never fail the gate; they feed the baseline auto-ratchet.
+	Improved bool
 }
 
 // Result is a full comparison: every paired delta plus the calibration
@@ -152,6 +157,31 @@ func (r *Result) Regressions() []Delta {
 		}
 	}
 	return out
+}
+
+// Improvements returns the deltas that moved significantly past the
+// threshold in the good direction.
+func (r *Result) Improvements() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Improved {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ShouldRatchet reports whether the current run qualifies as a
+// replacement baseline: at least one significant improvement and no
+// regression anywhere. Ratcheting on anything weaker would let noise
+// walk the baseline downward one lucky run at a time; requiring zero
+// regressions keeps a mixed run (one kernel faster, another slower)
+// from laundering the slowdown into the new reference numbers.
+func (r *Result) ShouldRatchet() bool {
+	if len(r.Regressions()) > 0 {
+		return false
+	}
+	return len(r.Improvements()) > 0
 }
 
 // Compare pairs old (baseline) against new (current run) per Options. A
@@ -211,6 +241,7 @@ func Compare(oldSet, newSet *Set, opts Options) *Result {
 				d.Ratio = d.NewMedian / d.OldMedian / factor
 			}
 			d.Regressed = d.Ratio > 1+opts.Threshold && d.P < opts.Alpha
+			d.Improved = d.Ratio < 1-opts.Threshold && d.P < opts.Alpha
 			res.Deltas = append(res.Deltas, d)
 		}
 	}
@@ -220,23 +251,32 @@ func Compare(oldSet, newSet *Set, opts Options) *Result {
 // Gate compares two benchmark files and writes a human-readable verdict to
 // w. It returns an error listing the regressions when the gate fails.
 func Gate(oldR, newR io.Reader, opts Options, w io.Writer) error {
+	_, err := GateResult(oldR, newR, opts, w)
+	return err
+}
+
+// GateResult is Gate returning the full comparison alongside the verdict,
+// for callers that act on the non-failing deltas too — the baseline
+// auto-ratchet reads Improvements/ShouldRatchet off the result. The
+// Result is nil when either input fails to parse or nothing paired.
+func GateResult(oldR, newR io.Reader, opts Options, w io.Writer) (*Result, error) {
 	oldSet, err := ParseSet(oldR)
 	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
+		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	newSet, err := ParseSet(newR)
 	if err != nil {
-		return fmt.Errorf("current: %w", err)
+		return nil, fmt.Errorf("current: %w", err)
 	}
 	if len(oldSet.Benchmarks) == 0 {
-		return fmt.Errorf("baseline: no benchmark lines")
+		return nil, fmt.Errorf("baseline: no benchmark lines")
 	}
 	if len(newSet.Benchmarks) == 0 {
-		return fmt.Errorf("current: no benchmark lines")
+		return nil, fmt.Errorf("current: no benchmark lines")
 	}
 	res := Compare(oldSet, newSet, opts)
 	if res.Compared == 0 {
-		return fmt.Errorf("no benchmarks in common between baseline and current run")
+		return nil, fmt.Errorf("no benchmarks in common between baseline and current run")
 	}
 	for _, unit := range opts.Units {
 		if opts.Calibrated[unit] {
@@ -248,12 +288,17 @@ func Gate(oldR, newR io.Reader, opts Options, w io.Writer) error {
 		fmt.Fprintf(w, "benchgate: REGRESSION %s %s: %.4g -> %.4g (%.1f%% over grid, p=%.4f)\n",
 			d.Name, d.Unit, d.OldMedian, d.NewMedian, (d.Ratio-1)*100, d.P)
 	}
-	fmt.Fprintf(w, "benchgate: %d benchmark/unit pairs compared, %d regressed (threshold +%.0f%%, alpha %.2f)\n",
-		res.Compared, len(regs), opts.Threshold*100, opts.Alpha)
-	if len(regs) > 0 {
-		return fmt.Errorf("%d significant regressions past +%.0f%%", len(regs), opts.Threshold*100)
+	imps := res.Improvements()
+	for _, d := range imps {
+		fmt.Fprintf(w, "benchgate: improvement %s %s: %.4g -> %.4g (%.1f%% over grid, p=%.4f)\n",
+			d.Name, d.Unit, d.OldMedian, d.NewMedian, (d.Ratio-1)*100, d.P)
 	}
-	return nil
+	fmt.Fprintf(w, "benchgate: %d benchmark/unit pairs compared, %d regressed, %d improved (threshold %.0f%%, alpha %.2f)\n",
+		res.Compared, len(regs), len(imps), opts.Threshold*100, opts.Alpha)
+	if len(regs) > 0 {
+		return res, fmt.Errorf("%d significant regressions past +%.0f%%", len(regs), opts.Threshold*100)
+	}
+	return res, nil
 }
 
 func median(xs []float64) float64 {

@@ -212,3 +212,85 @@ func TestGate(t *testing.T) {
 		t.Error("disjoint benchmark sets accepted")
 	}
 }
+
+// scaledGrid builds 6 benchmarks where per-index scale factors apply to a
+// stable 5-sample baseline; unlisted indexes stay at 1.0.
+func scaledGrid(scales map[int]float64) string {
+	var b strings.Builder
+	for i := 0; i < 6; i++ {
+		scale := 1.0
+		if s, ok := scales[i]; ok {
+			scale = s
+		}
+		b.WriteString(benchLines(fmt.Sprintf("BenchmarkG%d", i), "ns/op",
+			100*scale, 101*scale, 102*scale, 99*scale, 98*scale))
+	}
+	return b.String()
+}
+
+// TestCompareImprovements: a significant speedup past the threshold is
+// marked Improved, never Regressed, and qualifies the run for a ratchet.
+func TestCompareImprovements(t *testing.T) {
+	oldSet, _ := ParseSet(strings.NewReader(scaledGrid(nil)))
+	newSet, _ := ParseSet(strings.NewReader(scaledGrid(map[int]float64{0: 0.5})))
+	res := Compare(oldSet, newSet, DefaultOptions())
+	imps := res.Improvements()
+	if len(imps) != 1 || imps[0].Name != "BenchmarkG0" {
+		t.Fatalf("improvements = %+v, want exactly BenchmarkG0", imps)
+	}
+	if imps[0].Regressed {
+		t.Error("an improvement is also marked Regressed")
+	}
+	if len(res.Regressions()) != 0 {
+		t.Errorf("spurious regressions: %+v", res.Regressions())
+	}
+	if !res.ShouldRatchet() {
+		t.Error("clean improvement did not qualify for a ratchet")
+	}
+}
+
+// TestShouldRatchetRefusals: a mixed run (one kernel faster, another
+// slower) and a no-change run must both refuse to become the baseline.
+func TestShouldRatchetRefusals(t *testing.T) {
+	oldSet, _ := ParseSet(strings.NewReader(scaledGrid(nil)))
+
+	mixed, _ := ParseSet(strings.NewReader(scaledGrid(map[int]float64{0: 0.5, 1: 1.6})))
+	res := Compare(oldSet, mixed, DefaultOptions())
+	if len(res.Improvements()) == 0 || len(res.Regressions()) == 0 {
+		t.Fatalf("mixed run not detected: %d improved, %d regressed",
+			len(res.Improvements()), len(res.Regressions()))
+	}
+	if res.ShouldRatchet() {
+		t.Error("mixed run (improvement + regression) qualified for a ratchet")
+	}
+
+	same, _ := ParseSet(strings.NewReader(scaledGrid(nil)))
+	res = Compare(oldSet, same, DefaultOptions())
+	if res.ShouldRatchet() {
+		t.Error("unchanged run qualified for a ratchet")
+	}
+
+	// Insignificant noise below the threshold must not ratchet either.
+	noisy, _ := ParseSet(strings.NewReader(scaledGrid(map[int]float64{0: 0.95})))
+	res = Compare(oldSet, noisy, DefaultOptions())
+	if res.ShouldRatchet() {
+		t.Error("sub-threshold wiggle qualified for a ratchet")
+	}
+}
+
+// TestGateResultSurfacesImprovements: the gate report names improvements
+// (without failing) and hands back the Result the ratchet decision reads.
+func TestGateResultSurfacesImprovements(t *testing.T) {
+	var out bytes.Buffer
+	res, err := GateResult(strings.NewReader(scaledGrid(nil)),
+		strings.NewReader(scaledGrid(map[int]float64{0: 0.5})), DefaultOptions(), &out)
+	if err != nil {
+		t.Fatalf("improvement-only run failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "improvement BenchmarkG0") {
+		t.Errorf("gate output does not name the improvement:\n%s", out.String())
+	}
+	if res == nil || !res.ShouldRatchet() {
+		t.Errorf("GateResult did not qualify the run for a ratchet: %+v", res)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"slotsel/internal/core"
 	"slotsel/internal/csa"
 	"slotsel/internal/env"
+	"slotsel/internal/inventory"
 	"slotsel/internal/job"
 	"slotsel/internal/randx"
 	"slotsel/internal/testkit"
@@ -83,11 +84,13 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 		iters     = fs.Int("iters", 5, "timed repetitions per grid point (the minimum is reported)")
 		nodesGrid = fs.String("nodes", "16,32,64,128", "comma-separated node-count grid")
 		tasksGrid = fs.String("tasks", "2,5,10", "comma-separated window-size (task count) grid")
-		outPath   = fs.String("o", "BENCH_5.json", "output path (- = stdout; benchfmt mode defaults to stdout)")
+		outPath   = fs.String("o", "", "output path (- = stdout; default BENCH_<issue>.json for JSON, stdout for -benchfmt)")
+		issue     = fs.Int("issue", 5, "issue `number` stamped into the JSON output (and its default filename)")
 		check     = fs.Bool("check", false, "run the incremental-vs-oracle differential over the grid instead of timing; non-zero exit on mismatch")
 		benchfmt  = fs.Bool("benchfmt", false, "emit Go benchmark lines (benchstat/-gate input) instead of JSON, one line per repetition")
 		gate      = fs.Bool("gate", false, "compare two -benchfmt files: slotbench -gate baseline.txt current.txt; non-zero exit on significant regression")
 		regress   = fs.Float64("regress", 10, "gate threshold: fail on a significant regression past this `percent`")
+		ratchet   = fs.String("ratchet", "", "with -gate: overwrite this baseline `file` with the current run when it improved significantly with zero regressions")
 		accum     = fs.String("accum", "", "append a trajectory entry to this dashboard `file` (results/data.js) from the input files given as args (-benchfmt text or BENCH_*.json), or from a fresh grid run when none")
 		label     = fs.String("label", "", "trajectory entry label for -accum (default: derived from the input, or \"local\")")
 	)
@@ -95,7 +98,7 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *gate {
-		return benchGate(fs.Args(), *regress, stdout, stderr)
+		return benchGate(fs.Args(), *regress, *ratchet, stdout, stderr)
 	}
 	nodeCounts, err := parseIntGrid(*nodesGrid)
 	if err != nil {
@@ -127,7 +130,10 @@ func Slotbench(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "slotbench:", err)
 		return 1
 	}
-	file := benchFile{Issue: 5, Seed: *seed}
+	if *outPath == "" {
+		*outPath = fmt.Sprintf("BENCH_%d.json", *issue)
+	}
+	file := benchFile{Issue: *issue, Seed: *seed}
 	for _, bo := range ops {
 		times := benchTimes(*iters, bo.op)
 		allocs, bytes := benchAlloc(bo.allocRounds, bo.op)
@@ -180,6 +186,15 @@ func benchOpsGrid(seed uint64, nodeCounts, taskCounts []int) ([]benchOp, error) 
 		e := env.Generate(env.DefaultConfig().WithNodeCount(nc), randx.New(seed))
 		list := e.Slots
 
+		// The cached/uncached service rows run against an inventory of the
+		// same instance: the configuration slotserve actually serves, with
+		// the churn-aware FindCache in front of the kernel.
+		inv, err := inventory.New(list, inventory.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cache := inventory.NewFindCache(inv, 0)
+
 		for _, tasks := range taskCounts {
 			req := benchRequest(tasks)
 			for _, alg := range benchAlgorithms(seed) {
@@ -212,6 +227,41 @@ func benchOpsGrid(seed uint64, nodeCounts, taskCounts []int) ([]benchOp, error) 
 						op:          run.op,
 					})
 				}
+			}
+
+			// Service-layer find, with and without the FindCache in front.
+			// The instance does not churn during the measurement, so after
+			// the first miss every cached op is a steady-state hit — the
+			// key lookup plus the invalidation-ring disjointness proof —
+			// while the uncached op pays what every /v1/find pays without
+			// the cache: a fresh full kernel pass over the same snapshot.
+			// The spread between the two rows is the cache's headline win.
+			rc, ru := req, req
+			ckey := inventory.NewCacheKey(&rc, core.AMP{}.Name())
+			for _, run := range []struct {
+				kernel string
+				op     func()
+			}{
+				{"cached", func() {
+					_, _, _ = cache.Find(ckey, func(snap *inventory.Snapshot) (*core.Window, error) {
+						return core.FindObserved(core.AMP{}, snap.Slots, &rc, nil)
+					})
+				}},
+				{"uncached", func() {
+					snap := inv.Snapshot()
+					_, _ = core.FindObserved(core.AMP{}, snap.Slots, &ru, nil)
+				}},
+			} {
+				meta := benchResult{
+					Bench: "find", Alg: core.AMP{}.Name(), Kernel: run.kernel,
+					Nodes: nc, Slots: len(list), Tasks: tasks,
+				}
+				ops = append(ops, benchOp{
+					name:        benchName(meta),
+					meta:        meta,
+					allocRounds: findAllocRounds,
+					op:          run.op,
+				})
 			}
 
 			// CSA alternative search: repeated AMP over a carved working
@@ -274,9 +324,7 @@ func benchFmt(stdout, stderr io.Writer, outPath string, seed uint64, iters int, 
 		return 1
 	}
 	var w io.Writer = stdout
-	// The JSON default filename would mislabel text output, so benchfmt
-	// defaults to stdout unless -o names a path explicitly.
-	if outPath != "-" && outPath != "BENCH_5.json" {
+	if outPath != "-" && outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {
 			fmt.Fprintln(stderr, "slotbench:", err)
@@ -329,7 +377,11 @@ func benchFmt(stdout, stderr io.Writer, outPath string, seed uint64, iters int, 
 // benchGate is the -gate mode: compare a baseline -benchfmt file against a
 // current one and fail on statistically significant regressions. ns/op is
 // machine-calibrated, allocs/op is compared raw; see internal/benchgate.
-func benchGate(args []string, regressPct float64, stdout, stderr io.Writer) int {
+// With -ratchet, a run that improved significantly somewhere and regressed
+// nowhere overwrites the named baseline file with the current samples, so
+// the reference numbers track genuine kernel wins without hand-refreshes —
+// and a mixed run cannot launder a slowdown into the new baseline.
+func benchGate(args []string, regressPct float64, ratchetPath string, stdout, stderr io.Writer) int {
 	if len(args) != 2 {
 		fmt.Fprintln(stderr, "slotbench: -gate wants exactly two files: baseline.txt current.txt")
 		return 2
@@ -348,10 +400,29 @@ func benchGate(args []string, regressPct float64, stdout, stderr io.Writer) int 
 	defer newF.Close()
 	opts := benchgate.DefaultOptions()
 	opts.Threshold = regressPct / 100
-	if err := benchgate.Gate(oldF, newF, opts, stdout); err != nil {
+	res, err := benchgate.GateResult(oldF, newF, opts, stdout)
+	if err != nil {
 		fmt.Fprintln(stderr, "slotbench:", err)
 		return 1
 	}
+	if ratchetPath == "" {
+		return 0
+	}
+	if !res.ShouldRatchet() {
+		fmt.Fprintf(stdout, "slotbench: baseline %s kept (no significant improvement to ratchet)\n", ratchetPath)
+		return 0
+	}
+	cur, err := os.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "slotbench: ratchet:", err)
+		return 1
+	}
+	if err := os.WriteFile(ratchetPath, cur, 0o644); err != nil {
+		fmt.Fprintln(stderr, "slotbench: ratchet:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "slotbench: ratcheted %s from %s (%d improved, 0 regressed)\n",
+		ratchetPath, args[1], len(res.Improvements()))
 	return 0
 }
 

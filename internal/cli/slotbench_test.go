@@ -34,10 +34,12 @@ func TestSlotbenchBenchfmt(t *testing.T) {
 	if err != nil {
 		t.Fatalf("output not parseable: %v", err)
 	}
-	// 9 algorithms x 2 kernels + 1 CSA + 1 batch = 20 benchmarks.
-	if len(set.Benchmarks) != 20 {
-		t.Errorf("parsed %d benchmarks, want 20", len(set.Benchmarks))
+	// 9 algorithms x 2 kernels + cached/uncached service find + 1 CSA +
+	// 1 batch = 22 benchmarks.
+	if len(set.Benchmarks) != 22 {
+		t.Errorf("parsed %d benchmarks, want 22", len(set.Benchmarks))
 	}
+	sawCached := false
 	for name, units := range set.Benchmarks {
 		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
 			if got := len(units[unit]); got != 3 {
@@ -51,6 +53,19 @@ func TestSlotbenchBenchfmt(t *testing.T) {
 				}
 			}
 		}
+		// The cached service row measures steady-state hits (the instance
+		// never churns mid-benchmark), and the hit path is alloc-free.
+		if strings.Contains(name, "kernel=cached") {
+			sawCached = true
+			for _, a := range units["allocs/op"] {
+				if a != 0 {
+					t.Errorf("%s: allocs/op = %v, want 0 (cache-hit zero-alloc contract)", name, a)
+				}
+			}
+		}
+	}
+	if !sawCached {
+		t.Error("no kernel=cached benchmark in the grid")
 	}
 }
 
@@ -99,5 +114,73 @@ func TestSlotbenchGate(t *testing.T) {
 	}
 	if code, _, stderr := runSlotbench(t, "-gate", base, filepath.Join(dir, "missing.txt")); code != 1 || stderr == "" {
 		t.Errorf("-gate with missing file: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestSlotbenchGateRatchet drives -gate -ratchet end to end: an improved
+// run replaces the baseline file byte-for-byte, while unchanged and
+// regressed runs leave it untouched.
+func TestSlotbenchGateRatchet(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, bump float64) string {
+		var b strings.Builder
+		for i := 0; i < 6; i++ {
+			scale := 1.0
+			if i == 0 {
+				scale = bump
+			}
+			for _, v := range []float64{100, 101, 102, 99, 98} {
+				fmt.Fprintf(&b, "BenchmarkG%d\t1\t%g ns/op\t0 B/op\t0.00 allocs/op\n", i, v*scale)
+			}
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	baseline := write("baseline.txt", 1)
+	baseBytes, _ := os.ReadFile(baseline)
+
+	// Unchanged run: gate passes, baseline kept.
+	same := write("same.txt", 1)
+	code, stdout, stderr := runSlotbench(t, "-ratchet", baseline, "-gate", baseline, same)
+	if code != 0 {
+		t.Fatalf("unchanged gate: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "kept") {
+		t.Errorf("unchanged run did not report the baseline as kept:\n%s", stdout)
+	}
+	if got, _ := os.ReadFile(baseline); !bytes.Equal(got, baseBytes) {
+		t.Error("unchanged run rewrote the baseline")
+	}
+
+	// Regressed run: gate fails, baseline kept.
+	worse := write("worse.txt", 1.5)
+	if code, _, _ := runSlotbench(t, "-ratchet", baseline, "-gate", baseline, worse); code != 1 {
+		t.Errorf("regressed gate with -ratchet: exit %d, want 1", code)
+	}
+	if got, _ := os.ReadFile(baseline); !bytes.Equal(got, baseBytes) {
+		t.Error("regressed run rewrote the baseline")
+	}
+
+	// Improved run: gate passes and the baseline becomes the current file.
+	better := write("better.txt", 0.5)
+	betterBytes, _ := os.ReadFile(better)
+	code, stdout, stderr = runSlotbench(t, "-ratchet", baseline, "-gate", baseline, better)
+	if code != 0 {
+		t.Fatalf("improved gate: exit %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ratcheted") {
+		t.Errorf("improved run did not report the ratchet:\n%s", stdout)
+	}
+	if got, _ := os.ReadFile(baseline); !bytes.Equal(got, betterBytes) {
+		t.Error("baseline was not replaced by the improved run")
+	}
+
+	// Second pass against the new baseline: the same run is now a no-op.
+	code, stdout, _ = runSlotbench(t, "-ratchet", baseline, "-gate", baseline, better)
+	if code != 0 || !strings.Contains(stdout, "kept") {
+		t.Errorf("re-gate after ratchet: exit %d, stdout:\n%s", code, stdout)
 	}
 }

@@ -220,6 +220,9 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 			code = 1
 		}
 	case <-stopc:
+		// Wake parked /v1/watch long-polls with 503 first, so they cannot
+		// hold the graceful drain open until their deadlines.
+		handler.DrainWatches()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(stderr, "slotserve: shutdown:", err)

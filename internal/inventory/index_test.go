@@ -1,0 +1,254 @@
+package inventory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/job"
+	"slotsel/internal/randx"
+	"slotsel/internal/slots"
+	"slotsel/internal/testkit"
+)
+
+// oracleSignature renders the stateless full rebuild of the free list —
+// the differential oracle the incremental index is checked against.
+func (inv *Inventory) oracleSignature() string {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return freeSignature(inv.freeLocked())
+}
+
+// churnStep applies one random mutation to the inventory, mirroring the
+// operation mix of the replay differential suite (plus an occasional
+// explicit Sweep). held carries live hold IDs across steps.
+func churnStep(t *testing.T, inv *Inventory, rng *randx.Rand, held []string) []string {
+	t.Helper()
+	switch k := rng.Intn(14); {
+	case k < 6: // reserve (sometimes with an instantly lapsing TTL)
+		req := &job.Request{
+			TaskCount: rng.IntRange(1, 3),
+			Volume:    float64(rng.IntRange(20, 80)),
+			MaxCost:   5000,
+		}
+		ttl := time.Minute
+		if rng.Intn(4) == 0 {
+			ttl = time.Nanosecond
+		}
+		if res, err := inv.Reserve(req, core.AMP{}, ttl); err == nil && ttl == time.Minute {
+			held = append(held, res.ID)
+		}
+	case k < 8: // commit
+		if len(held) > 0 {
+			i := rng.Intn(len(held))
+			inv.Commit(held[i])
+			held = append(held[:i], held[i+1:]...)
+		}
+	case k < 10: // release
+		if len(held) > 0 {
+			i := rng.Intn(len(held))
+			inv.Release(held[i])
+			held = append(held[:i], held[i+1:]...)
+		}
+	case k == 10: // add fresh capacity (new node or more spans on node 0)
+		id := 1000 + rng.Intn(50)
+		if rng.Intn(2) == 0 {
+			id = 0
+		}
+		n := testkit.Node(id, float64(rng.IntRange(2, 10)), 1)
+		start := rng.FloatRange(0, 200)
+		inv.Add(testkit.SlotList(testkit.Slot(n, start, start+rng.FloatRange(20, 100))))
+	case k == 11: // withdraw
+		if _, err := inv.Withdraw(rng.Intn(12)); err != nil && !errors.Is(err, ErrUnknownNode) {
+			t.Fatalf("withdraw: %v", err)
+		}
+	default:
+		inv.Sweep()
+	}
+	return held
+}
+
+// TestIncrementalFreeMatchesOracle is the acceptance suite for the
+// persistent free index: across 64 seeds of interleaved churn, the
+// incrementally spliced snapshot published after EVERY mutation must be
+// value- and order-identical to the stateless full rebuild (freeLocked),
+// including the per-node index it was assembled from.
+func TestIncrementalFreeMatchesOracle(t *testing.T) {
+	const seeds = 64
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := randx.New(seed)
+			list := testkit.RandomList(rng, 12, 3, 300)
+			if len(list) == 0 {
+				t.Skip("empty instance")
+			}
+			inv, err := New(list, Options{MinSlotLength: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var held []string
+			for op := 0; op < 120; op++ {
+				held = churnStep(t, inv, rng, held)
+				got := freeSignature(inv.Snapshot().Slots)
+				want := inv.oracleSignature()
+				if got != want {
+					t.Fatalf("op %d: incremental snapshot diverged from oracle\nincremental: %s\noracle:      %s", op, got, want)
+				}
+				inv.mu.Lock()
+				for nid, free := range inv.free {
+					if len(free) == 0 {
+						t.Errorf("op %d: node %d holds an empty index entry", op, nid)
+					}
+				}
+				inv.mu.Unlock()
+			}
+		})
+	}
+}
+
+// TestChangeRangesSound checks the invalidation contract: every slot of
+// the previous snapshot lying entirely outside a publication's change
+// range must reappear identically in the new snapshot, and vice versa —
+// outside [Lo, Hi) the two snapshots are the same free pool.
+func TestChangeRangesSound(t *testing.T) {
+	outside := func(l slots.List, lo, hi float64) string {
+		var keep slots.List
+		for _, s := range l {
+			if s.End <= lo || s.Start >= hi {
+				keep = append(keep, s)
+			}
+		}
+		return freeSignature(keep)
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := randx.New(seed)
+			list := testkit.RandomList(rng, 10, 3, 300)
+			if len(list) == 0 {
+				t.Skip("empty instance")
+			}
+			inv, err := New(list, Options{MinSlotLength: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mu struct {
+				changes []Change
+			}
+			inv.AddChangeListener(func(c Change) { mu.changes = append(mu.changes, c) })
+			prev := inv.Snapshot()
+			var held []string
+			for op := 0; op < 100; op++ {
+				held = churnStep(t, inv, rng, held)
+				cur := inv.Snapshot()
+				// Replay the recorded changes from prev to cur, one
+				// publication at a time. Single-threaded here, so the
+				// listener order is exactly the publication order.
+				for _, c := range mu.changes {
+					if c.Version <= prev.Version || c.Version > cur.Version {
+						t.Fatalf("op %d: change version %d outside (%d, %d]", op, c.Version, prev.Version, cur.Version)
+					}
+				}
+				if got := outside(prev.Slots, loOf(mu.changes), hiOf(mu.changes)); got != outside(cur.Slots, loOf(mu.changes), hiOf(mu.changes)) {
+					t.Fatalf("op %d: snapshots differ outside the declared change range [%g, %g)\nbefore: %s\nafter:  %s",
+						op, loOf(mu.changes), hiOf(mu.changes),
+						got, outside(cur.Slots, loOf(mu.changes), hiOf(mu.changes)))
+				}
+				// The ring must agree with the recorded changes: a horizon
+				// disjoint from every change range is not invalidated.
+				lo := loOf(mu.changes)
+				if lo > math.Inf(-1) && inv.InvalidatedSince(prev.Version, cur.Version, lo-1e9, lo) && !anyOverlap(mu.changes, lo-1e9, lo) {
+					t.Fatalf("op %d: ring invalidates [%g, %g) with no overlapping change", op, lo-1e9, lo)
+				}
+				mu.changes = mu.changes[:0]
+				prev = cur
+			}
+		})
+	}
+}
+
+func loOf(cs []Change) float64 {
+	lo := math.Inf(1)
+	for _, c := range cs {
+		if c.Lo < lo {
+			lo = c.Lo
+		}
+	}
+	return lo
+}
+
+func hiOf(cs []Change) float64 {
+	hi := math.Inf(-1)
+	for _, c := range cs {
+		if c.Hi > hi {
+			hi = c.Hi
+		}
+	}
+	return hi
+}
+
+func anyOverlap(cs []Change, lo, hi float64) bool {
+	for _, c := range cs {
+		if c.Overlaps(lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInvalRingEviction: versions older than the ring's retention answer
+// conservatively (invalidated), never falsely clean.
+func TestInvalRingEviction(t *testing.T) {
+	var r invalRing
+	for v := uint64(1); v <= maxInvalRetained+50; v++ {
+		r.append(Change{Version: v, Lo: 10, Hi: 20})
+	}
+	now := uint64(maxInvalRetained + 50)
+	if !r.invalidatedSince(1, now, 100, 200) {
+		t.Error("evicted history must answer invalidated even for a disjoint range")
+	}
+	if r.invalidatedSince(now-10, now, 100, 200) {
+		t.Error("retained disjoint history must answer clean")
+	}
+	if !r.invalidatedSince(now-10, now, 15, 16) {
+		t.Error("retained overlapping history must answer invalidated")
+	}
+	if r.invalidatedSince(now, now, 0, math.Inf(1)) {
+		t.Error("same version is never invalidated")
+	}
+	if !r.invalidatedSince(now, now-1, 0, 1) {
+		t.Error("a backwards version range must answer invalidated")
+	}
+}
+
+// TestResetToRestartsInvalidation: a follower resync publishes a
+// full-range change at the reset version and restarts the ring, so no
+// pre-reset entry can ever validate a post-reset cache hit.
+func TestResetToRestartsInvalidation(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Change
+	inv.AddChangeListener(func(c Change) { got = append(got, c) })
+	st := inv.ExportState()
+	st.Version = 41
+	if err := inv.ResetTo(st); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Version != 41 || !math.IsInf(got[0].Lo, -1) || !math.IsInf(got[0].Hi, 1) {
+		t.Fatalf("expected one full-range change at version 41, got %+v", got)
+	}
+	if !inv.InvalidatedSince(40, 41, 1000, 1001) {
+		t.Error("reset must invalidate every range")
+	}
+	if got := freeSignature(inv.Snapshot().Slots); got != inv.oracleSignature() {
+		t.Errorf("post-reset snapshot diverged from oracle: %s", got)
+	}
+}

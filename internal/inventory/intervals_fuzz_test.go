@@ -1,0 +1,94 @@
+package inventory
+
+import (
+	"testing"
+
+	"slotsel/internal/slots"
+)
+
+// FuzzIntervalBookkeeping drives insertIntervals/removeIntervals with an
+// op sequence decoded from fuzz bytes and cross-checks coverage against
+// a naive set-of-points oracle on a unit grid. Inserts respect the
+// fitsLocked precondition (no overlap with live coverage — touching is
+// fine); removes subtract arbitrary previously-inserted spans, including
+// partial and multi-span ones, exactly as release/expiry do.
+//
+// Invariants checked after every op:
+//   - the list covers exactly the oracle's cells,
+//   - the list is sorted, disjoint, non-touching, positive-length
+//     (canonical form — no zero-length seams).
+func FuzzIntervalBookkeeping(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0x96, 0x12})
+	f.Add([]byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef})
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x90, 0x15, 0x91, 0x25})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const grid = 64
+		var covered [grid]bool // oracle: one bool per unit cell
+		var spans []slots.Interval
+		var live []slots.Interval // inserted spans eligible for removal
+
+		overlapsCovered := func(a, b int) bool {
+			for c := a; c < b; c++ {
+				if covered[c] {
+					return true
+				}
+			}
+			return false
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			a := int(op&0x3f) % grid
+			b := a + 1 + int(arg)%8
+			if b > grid {
+				b = grid
+			}
+			if op&0x80 == 0 { // insert [a, b) if it respects the invariant
+				if a >= b || overlapsCovered(a, b) {
+					continue
+				}
+				span := slots.Interval{Start: float64(a), End: float64(b)}
+				spans = insertIntervals(spans, []slots.Interval{span})
+				live = append(live, span)
+				for c := a; c < b; c++ {
+					covered[c] = true
+				}
+			} else { // remove a previously inserted span
+				if len(live) == 0 {
+					continue
+				}
+				j := int(arg) % len(live)
+				d := live[j]
+				live = append(live[:j], live[j+1:]...)
+				spans = removeIntervals(spans, []slots.Interval{d})
+				for c := int(d.Start); c < int(d.End); c++ {
+					covered[c] = false
+				}
+			}
+
+			// Canonical form.
+			for k, s := range spans {
+				if s.Length() <= 0 {
+					t.Fatalf("op %d: non-positive span %+v in %v", i, s, spans)
+				}
+				if k > 0 && spans[k-1].End >= s.Start {
+					t.Fatalf("op %d: spans %v not sorted/disjoint/non-touching", i, spans)
+				}
+			}
+			// Exact coverage vs the oracle.
+			for c := 0; c < grid; c++ {
+				mid := float64(c) + 0.5
+				in := false
+				for _, s := range spans {
+					if s.Start <= mid && mid < s.End {
+						in = true
+						break
+					}
+				}
+				if in != covered[c] {
+					t.Fatalf("op %d: cell %d coverage=%v, oracle=%v (spans %v)", i, c, in, covered[c], spans)
+				}
+			}
+		}
+	})
+}

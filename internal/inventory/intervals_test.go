@@ -1,0 +1,148 @@
+package inventory
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/slots"
+)
+
+func iv(a, b float64) slots.Interval { return slots.Interval{Start: a, End: b} }
+
+// checkCanonical asserts the allocation-list invariant insertIntervals
+// guarantees and removeIntervals preserves: sorted by start, pairwise
+// disjoint, non-touching, positive length.
+func checkCanonical(t *testing.T, spans []slots.Interval) {
+	t.Helper()
+	for i, s := range spans {
+		if s.Length() <= 0 {
+			t.Fatalf("span %d %+v has non-positive length in %v", i, s, spans)
+		}
+		if i > 0 && spans[i-1].End >= s.Start {
+			t.Fatalf("spans %d and %d overlap or touch in %v", i-1, i, spans)
+		}
+	}
+}
+
+// TestInsertIntervalsEdges mirrors the timetable zero-length/adjacent
+// suite for the allocation bookkeeping: adjacent-touching spans must
+// coalesce into one, never sit as a seam-separated pair.
+func TestInsertIntervalsEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		base []slots.Interval
+		add  []slots.Interval
+		want []slots.Interval
+	}{
+		{"into empty", nil, []slots.Interval{iv(10, 20)}, []slots.Interval{iv(10, 20)}},
+		{"disjoint after", []slots.Interval{iv(0, 5)}, []slots.Interval{iv(10, 20)}, []slots.Interval{iv(0, 5), iv(10, 20)}},
+		{"touching right coalesces", []slots.Interval{iv(0, 10)}, []slots.Interval{iv(10, 20)}, []slots.Interval{iv(0, 20)}},
+		{"touching left coalesces", []slots.Interval{iv(10, 20)}, []slots.Interval{iv(0, 10)}, []slots.Interval{iv(0, 20)}},
+		{"bridges a gap exactly", []slots.Interval{iv(0, 10), iv(20, 30)}, []slots.Interval{iv(10, 20)}, []slots.Interval{iv(0, 30)}},
+		{"two adds touch each other", nil, []slots.Interval{iv(10, 20), iv(20, 30)}, []slots.Interval{iv(10, 30)}},
+		{"zero-length add dropped", []slots.Interval{iv(0, 10)}, []slots.Interval{iv(5, 5)}, []slots.Interval{iv(0, 10)}},
+		{"chain of three", []slots.Interval{iv(0, 1), iv(2, 3)}, []slots.Interval{iv(1, 2), iv(3, 4)}, []slots.Interval{iv(0, 4)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := insertIntervals(append([]slots.Interval(nil), tc.base...), tc.add)
+			checkCanonical(t, got)
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("insert %v into %v = %v, want %v", tc.add, tc.base, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRemoveIntervalsEdges: geometric subtraction at exact boundaries.
+// A release that abuts remaining allocations must free exactly its own
+// span — no zero-length seams, no over- or under-removal that would
+// block (or wrongly admit) a later fitsLocked.
+func TestRemoveIntervalsEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		base []slots.Interval
+		del  []slots.Interval
+		want []slots.Interval
+	}{
+		{"exact whole span", []slots.Interval{iv(10, 20)}, []slots.Interval{iv(10, 20)}, nil},
+		{"left edge of merged span", []slots.Interval{iv(0, 30)}, []slots.Interval{iv(0, 10)}, []slots.Interval{iv(10, 30)}},
+		{"right edge of merged span", []slots.Interval{iv(0, 30)}, []slots.Interval{iv(20, 30)}, []slots.Interval{iv(0, 20)}},
+		{"hole strictly inside", []slots.Interval{iv(0, 30)}, []slots.Interval{iv(10, 20)}, []slots.Interval{iv(0, 10), iv(20, 30)}},
+		{"touching is not overlap", []slots.Interval{iv(0, 10), iv(20, 30)}, []slots.Interval{iv(10, 20)}, []slots.Interval{iv(0, 10), iv(20, 30)}},
+		{"across two spans", []slots.Interval{iv(0, 10), iv(20, 30)}, []slots.Interval{iv(5, 25)}, []slots.Interval{iv(0, 5), iv(25, 30)}},
+		{"covers several whole spans", []slots.Interval{iv(0, 5), iv(10, 15), iv(20, 25)}, []slots.Interval{iv(0, 25)}, nil},
+		{"zero-length delete ignored", []slots.Interval{iv(0, 10)}, []slots.Interval{iv(5, 5)}, []slots.Interval{iv(0, 10)}},
+		{"two deletes split then trim", []slots.Interval{iv(0, 30)}, []slots.Interval{iv(10, 15), iv(0, 5)}, []slots.Interval{iv(5, 10), iv(15, 30)}},
+		{"empty list", nil, []slots.Interval{iv(0, 5)}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := removeIntervals(append([]slots.Interval(nil), tc.base...), tc.del)
+			checkCanonical(t, got)
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("remove %v from %v = %v, want %v", tc.del, tc.base, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestReserveReleaseCoalescedRoundTrip: two holds placed flush against
+// each other coalesce into one allocation span; releasing one must free
+// exactly its half so a same-shaped hold fits again — the seam scenario
+// the exact-value bookkeeping this replaced could not express.
+func TestReserveReleaseCoalescedRoundTrip(t *testing.T) {
+	inv, err := New(twoNodeList(), Options{MinSlotLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := inv.Snapshot().Slots[0]
+	nid := slot.Node.ID
+	reserveSpan := func(lo, hi float64) *Reservation {
+		t.Helper()
+		w := &core.Window{
+			Start:      lo,
+			Runtime:    hi - lo,
+			Placements: []core.Placement{{Slot: slot, Start: lo, Exec: hi - lo}},
+		}
+		res, err := inv.ReserveWindow(w, time.Minute)
+		if err != nil {
+			t.Fatalf("ReserveWindow [%g, %g): %v", lo, hi, err)
+		}
+		return res
+	}
+	// Two abutting holds on the first node's slot.
+	r1 := reserveSpan(0, 10)
+	r2 := reserveSpan(10, 20)
+	inv.mu.Lock()
+	spans := append([]slots.Interval(nil), inv.alloc[nid]...)
+	inv.mu.Unlock()
+	if len(spans) != 1 || spans[0] != iv(0, 20) {
+		t.Fatalf("abutting holds must coalesce to [0,20), got %v", spans)
+	}
+	if err := inv.Release(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	inv.mu.Lock()
+	spans = append([]slots.Interval(nil), inv.alloc[nid]...)
+	inv.mu.Unlock()
+	if len(spans) != 1 || spans[0] != iv(10, 20) {
+		t.Fatalf("releasing the left hold must leave [10,20), got %v", spans)
+	}
+	// The freed half must be reservable again.
+	r3 := reserveSpan(0, 10)
+	if err := inv.Release(r3.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Release(r2.ID); err != nil {
+		t.Fatal(err)
+	}
+	inv.mu.Lock()
+	rest := len(inv.alloc)
+	inv.mu.Unlock()
+	if rest != 0 {
+		t.Fatalf("all holds released, alloc map must be empty, has %d nodes", rest)
+	}
+}

@@ -197,6 +197,23 @@ type Inventory struct {
 	journal   []Event
 	counters  Counters
 
+	// free is the persistent per-node free-slot index: the incremental
+	// counterpart of freeLocked. Mutations re-cut only the nodes they
+	// touch; the published global list is spliced from the previous
+	// snapshot plus the re-cut nodes (see index.go).
+	free map[int]slots.List
+
+	// pending are Change notifications accumulated by publications in the
+	// current (or a recent) critical section, drained by flushChanges
+	// after the mutex is released; listeners receive every Change in
+	// publication order.
+	pending   []Change
+	listeners []func(Change)
+
+	// inval is the version-indexed invalidation history (own lock; read
+	// lock-free of inv.mu by cache revalidation).
+	inval invalRing
+
 	// wait is the pending durability wait of the current critical section
 	// (set by recordLocked when a Sink is configured, cleared by
 	// takeWaitLocked before the mutex is released).
@@ -221,6 +238,7 @@ func newEmpty(opts Options) *Inventory {
 		alloc:     make(map[int][]slots.Interval),
 		holds:     make(map[string]*hold),
 		committed: make(map[string]*core.Window),
+		free:      make(map[int]slots.List),
 	}
 	inv.snap.Store(&Snapshot{Version: 0})
 	return inv
@@ -234,13 +252,15 @@ func newEmpty(opts Options) *Inventory {
 func New(list slots.List, opts Options) (*Inventory, error) {
 	inv := newEmpty(opts)
 	inv.mu.Lock()
-	if err := inv.addLocked(list); err != nil {
+	touched, err := inv.addLocked(list)
+	if err != nil {
 		inv.mu.Unlock()
 		return nil, err
 	}
-	inv.publishLocked()
+	inv.publishLocked(touched)
 	wait := inv.takeWaitLocked()
 	inv.mu.Unlock()
+	inv.flushChanges()
 	if err := awaitDurable(wait); err != nil {
 		return nil, err
 	}
@@ -379,7 +399,7 @@ func (inv *Inventory) ReserveWindow(w *core.Window, ttl time.Duration) (*Reserva
 		inv.holds[id] = &hold{window: w, expires: expires}
 		inv.allocateLocked(w)
 		inv.counters.Reserves++
-		inv.publishLocked()
+		inv.publishLocked(windowNodes(w))
 		inv.spanLocked("inventory.Reserve", begin, id)
 		res = &Reservation{ID: id, Window: w, Version: inv.snap.Load().Version, Expires: expires}
 	} else {
@@ -388,6 +408,7 @@ func (inv *Inventory) ReserveWindow(w *core.Window, ttl time.Duration) (*Reserva
 	}
 	wait := inv.takeWaitLocked()
 	inv.mu.Unlock()
+	inv.flushChanges()
 	if err := awaitDurable(wait); err != nil {
 		return nil, err
 	}
@@ -416,6 +437,7 @@ func (inv *Inventory) Commit(id string) (*core.Window, error) {
 	}
 	wait := inv.takeWaitLocked()
 	inv.mu.Unlock()
+	inv.flushChanges() // the entry sweep may have published expiries
 	if err := awaitDurable(wait); err != nil {
 		return nil, err
 	}
@@ -436,13 +458,15 @@ func (inv *Inventory) Release(id string) error {
 	h := inv.holds[id]
 	inv.recordLocked(Event{Op: OpRelease, ID: id, OK: h != nil})
 	if h != nil {
+		touched := windowNodes(h.window)
 		inv.dropHoldLocked(id)
 		inv.counters.Releases++
-		inv.publishLocked()
+		inv.publishLocked(touched)
 		inv.spanLocked("inventory.Release", begin, id)
 	}
 	wait := inv.takeWaitLocked()
 	inv.mu.Unlock()
+	inv.flushChanges()
 	if err := awaitDurable(wait); err != nil {
 		return err
 	}
@@ -461,17 +485,20 @@ func (inv *Inventory) Add(list slots.List) error {
 	}
 	inv.mu.Lock()
 	inv.sweepLocked()
-	if err := inv.addLocked(list); err != nil {
+	touched, err := inv.addLocked(list)
+	if err != nil {
 		wait := inv.takeWaitLocked() // sweeps may have journaled
 		inv.mu.Unlock()
+		inv.flushChanges()
 		if derr := awaitDurable(wait); derr != nil {
 			return derr
 		}
 		return err
 	}
-	inv.publishLocked()
+	inv.publishLocked(touched)
 	wait := inv.takeWaitLocked()
 	inv.mu.Unlock()
+	inv.flushChanges()
 	return awaitDurable(wait)
 }
 
@@ -486,11 +513,13 @@ func (inv *Inventory) Withdraw(nodeID int) (cancelled []string, err error) {
 	_, known := inv.base[nodeID]
 	inv.recordLocked(Event{Op: OpWithdraw, Node: nodeID, OK: known})
 	if known {
-		cancelled = inv.withdrawLocked(nodeID)
-		inv.publishLocked()
+		var touched []int
+		cancelled, touched = inv.withdrawLocked(nodeID)
+		inv.publishLocked(touched)
 	}
 	wait := inv.takeWaitLocked()
 	inv.mu.Unlock()
+	inv.flushChanges()
 	if derr := awaitDurable(wait); derr != nil {
 		return nil, derr
 	}
@@ -508,6 +537,7 @@ func (inv *Inventory) Sweep() int {
 	n := inv.sweepLocked()
 	wait := inv.takeWaitLocked()
 	inv.mu.Unlock()
+	inv.flushChanges()
 	// A failed fsync of expiry events cannot be surfaced here (the sweep
 	// already happened); the sink latches the error and the next mutation
 	// reports it.
@@ -571,12 +601,13 @@ func (inv *Inventory) spanLocked(name string, begin time.Duration, arg string) {
 }
 
 // addLocked validates and merges a slot list into the base capacity,
-// recording the journal event on success. An empty list is recorded too
-// (the construction event of an inventory that starts without capacity);
-// Add filters empties so only New takes that path.
-func (inv *Inventory) addLocked(list slots.List) error {
+// recording the journal event on success and returning the touched node
+// IDs for the publication. An empty list is recorded too (the
+// construction event of an inventory that starts without capacity); Add
+// filters empties so only New takes that path.
+func (inv *Inventory) addLocked(list slots.List) ([]int, error) {
 	if err := list.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	byNode := make(map[int][]slots.Interval)
 	for _, s := range list {
@@ -585,17 +616,22 @@ func (inv *Inventory) addLocked(list slots.List) error {
 		}
 		byNode[s.Node.ID] = append(byNode[s.Node.ID], s.Interval)
 	}
+	touched := make([]int, 0, len(byNode))
 	for nid, ivs := range byNode {
 		inv.base[nid] = slots.MergeIntervals(append(append([]slots.Interval(nil), inv.base[nid]...), ivs...))
+		touched = append(touched, nid)
 	}
 	inv.counters.Adds++
 	inv.recordLocked(Event{Op: OpAdd, Slots: list.Clone(), OK: true})
-	return nil
+	return touched, nil
 }
 
-// freeLocked recomputes the free list: base minus allocations. Node
-// iteration is sorted so the result is a deterministic function of
-// base+alloc — the property the differential replay suite checks.
+// freeLocked recomputes the free list from scratch: base minus
+// allocations. Node iteration is sorted so the result is a deterministic
+// function of base+alloc — the property the differential replay suite
+// checks. The live path publishes through the incremental index
+// (publishLocked, index.go); this full rebuild stays as the stateless
+// differential oracle the index is checked against.
 func (inv *Inventory) freeLocked() slots.List {
 	ids := make([]int, 0, len(inv.base))
 	for id := range inv.base {
@@ -610,18 +646,6 @@ func (inv *Inventory) freeLocked() slots.List {
 		}
 	}
 	return slots.Cut(l, inv.alloc, inv.opts.MinSlotLength)
-}
-
-// publishLocked recomputes the free list and publishes it as a fresh
-// immutable snapshot with the next version.
-func (inv *Inventory) publishLocked() {
-	free := inv.freeLocked()
-	prev := inv.snap.Load()
-	var version uint64 = 1
-	if prev != nil {
-		version = prev.Version + 1
-	}
-	inv.snap.Store(&Snapshot{Version: version, Slots: free})
 }
 
 // fitsLocked is the conflict check: every placement span must lie inside
@@ -688,17 +712,22 @@ func (inv *Inventory) sweepLocked() int {
 	}
 	sort.Strings(expired)
 	for _, id := range expired {
+		touched := windowNodes(inv.holds[id].window)
 		inv.dropHoldLocked(id)
 		inv.counters.Expiries++
 		inv.recordLocked(Event{Op: OpExpire, ID: id, OK: true})
-		inv.publishLocked()
+		inv.publishLocked(touched)
 	}
 	return len(expired)
 }
 
-func (inv *Inventory) withdrawLocked(nodeID int) []string {
+// withdrawLocked removes the node and cancels every hold that uses it,
+// returning the cancelled IDs and the touched node set of the
+// publication (the withdrawn node plus every node a cancelled hold
+// spanned — their allocation spans return to the pool too).
+func (inv *Inventory) withdrawLocked(nodeID int) (cancelled []string, touched []int) {
 	delete(inv.base, nodeID)
-	var cancelled []string
+	touched = append(touched, nodeID)
 	for id, h := range inv.holds {
 		if _, uses := h.window.UsedIntervals()[nodeID]; uses {
 			cancelled = append(cancelled, id)
@@ -706,11 +735,12 @@ func (inv *Inventory) withdrawLocked(nodeID int) []string {
 	}
 	sort.Strings(cancelled)
 	for _, id := range cancelled {
+		touched = append(touched, windowNodes(inv.holds[id].window)...)
 		inv.dropHoldLocked(id)
 		inv.counters.Cancelled++
 	}
 	inv.counters.Withdrawals++
-	return cancelled
+	return cancelled, touched
 }
 
 // ---- interval helpers ----
@@ -733,30 +763,73 @@ func overlapsAny(spans []slots.Interval, iv slots.Interval) bool {
 	return false
 }
 
-// insertIntervals adds spans keeping the list sorted by start. Allocation
-// spans are pairwise disjoint by the fitsLocked invariant, so exact-value
-// bookkeeping suffices — no merging.
+// insertIntervals adds spans to the sorted allocation list, coalescing
+// touching and overlapping neighbours — a window placed flush against an
+// existing allocation becomes one span, never an adjacent pair whose
+// seam a later exact-value delete could miss. Allocation spans are
+// pairwise disjoint by the fitsLocked invariant (so overlap only arises
+// at touching boundaries), and the result stays sorted, disjoint,
+// non-touching and positive-length — the canonical form removeIntervals
+// relies on.
 func insertIntervals(spans []slots.Interval, add []slots.Interval) []slots.Interval {
 	spans = append(spans, add...)
 	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
-	return spans
-}
-
-// removeIntervals deletes spans by exact value (float64 values round-trip
-// exactly through the bookkeeping, so equality is reliable).
-func removeIntervals(spans []slots.Interval, del []slots.Interval) []slots.Interval {
 	out := spans[:0]
 	for _, s := range spans {
-		drop := false
-		for _, d := range del {
-			if s == d {
-				drop = true
-				break
+		if s.Length() <= 0 {
+			continue
+		}
+		if n := len(out); n > 0 && s.Start <= out[n-1].End {
+			if s.End > out[n-1].End {
+				out[n-1].End = s.End
 			}
+			continue
 		}
-		if !drop {
-			out = append(out, s)
-		}
+		out = append(out, s)
 	}
 	return out
+}
+
+// removeIntervals subtracts spans from the sorted allocation list by
+// geometric subtraction, not exact-value match: with coalescing inserts
+// a hold's spans may live inside a larger merged span, and subtraction
+// returns exactly the uncovered remainder. No arithmetic is performed on
+// the endpoints (pieces reuse the original float64 values), so release
+// and expiry remain exact inverses of reserve.
+func removeIntervals(spans []slots.Interval, del []slots.Interval) []slots.Interval {
+	for _, d := range del {
+		if d.Length() <= 0 {
+			continue
+		}
+		// The overlapped spans form one contiguous run [a, b) (sorted +
+		// disjoint), with at most a left remainder off its first span and a
+		// right remainder off its last. Splice the run in place.
+		a := sort.Search(len(spans), func(i int) bool { return spans[i].End > d.Start })
+		b := a
+		for b < len(spans) && spans[b].Start < d.End {
+			b++
+		}
+		if a == b {
+			continue // nothing overlaps (touching is not overlap)
+		}
+		var pieces [2]slots.Interval
+		p := 0
+		if spans[a].Start < d.Start {
+			pieces[p] = slots.Interval{Start: spans[a].Start, End: d.Start}
+			p++
+		}
+		if d.End < spans[b-1].End {
+			pieces[p] = slots.Interval{Start: d.End, End: spans[b-1].End}
+			p++
+		}
+		if grow := p - (b - a); grow > 0 { // a hole cut strictly inside one span
+			spans = append(spans, slots.Interval{})
+			copy(spans[b+grow:], spans[b:]) // overlapping copy is memmove-safe
+		} else if grow < 0 {
+			copy(spans[a+p:], spans[b:])
+			spans = spans[:len(spans)+grow]
+		}
+		copy(spans[a:a+p], pieces[:p])
+	}
+	return spans
 }

@@ -182,7 +182,9 @@ func Replay(events []Event, opts Options) (*Inventory, error) {
 // without one — journals recorded before the field existed — fall back to
 // the default TTL from the applying inventory's clock.
 func (inv *Inventory) ApplyEvent(ev Event) error {
-	if err := inv.apply(ev); err != nil {
+	err := inv.apply(ev)
+	inv.flushChanges() // applied events notify watchers like live mutations
+	if err != nil {
 		return fmt.Errorf("inventory: replay diverged at seq %d (%s): %w", ev.Seq, ev.Op, err)
 	}
 	return nil
@@ -197,10 +199,11 @@ func (inv *Inventory) apply(ev Event) error {
 	}
 	switch ev.Op {
 	case OpAdd:
-		if err := inv.addLocked(ev.Slots); err != nil {
+		touched, err := inv.addLocked(ev.Slots)
+		if err != nil {
 			return err
 		}
-		inv.publishLocked()
+		inv.publishLocked(touched)
 	case OpReserve:
 		ok := ev.Window != nil && len(ev.Window.Placements) > 0 && inv.fitsLocked(ev.Window)
 		if ok != ev.OK {
@@ -225,7 +228,7 @@ func (inv *Inventory) apply(ev Event) error {
 		if n, err := strconv.ParseUint(strings.TrimPrefix(ev.ID, "r"), 10, 64); err == nil && n > inv.nextID {
 			inv.nextID = n
 		}
-		inv.publishLocked()
+		inv.publishLocked(windowNodes(ev.Window))
 	case OpCommit:
 		h := inv.holds[ev.ID]
 		if (h != nil) != ev.OK {
@@ -245,16 +248,19 @@ func (inv *Inventory) apply(ev Event) error {
 		if h == nil {
 			return nil
 		}
+		touched := windowNodes(h.window)
 		inv.dropHoldLocked(ev.ID)
 		inv.counters.Releases++
-		inv.publishLocked()
+		inv.publishLocked(touched)
 	case OpExpire:
-		if inv.holds[ev.ID] == nil {
+		h := inv.holds[ev.ID]
+		if h == nil {
 			return fmt.Errorf("expire of unknown hold %q", ev.ID)
 		}
+		touched := windowNodes(h.window)
 		inv.dropHoldLocked(ev.ID)
 		inv.counters.Expiries++
-		inv.publishLocked()
+		inv.publishLocked(touched)
 	case OpWithdraw:
 		_, known := inv.base[ev.Node]
 		if known != ev.OK {
@@ -263,8 +269,8 @@ func (inv *Inventory) apply(ev Event) error {
 		if !known {
 			return nil
 		}
-		inv.withdrawLocked(ev.Node)
-		inv.publishLocked()
+		_, touched := inv.withdrawLocked(ev.Node)
+		inv.publishLocked(touched)
 	default:
 		return fmt.Errorf("unknown op %v", ev.Op)
 	}

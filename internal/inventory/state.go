@@ -2,6 +2,7 @@ package inventory
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -126,11 +127,14 @@ func Restore(st *State, opts Options) (*Inventory, error) {
 // server already points at. Not for use on inventories with a live Sink.
 func (inv *Inventory) ResetTo(st *State) error {
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	if inv.opts.Sink != nil {
+		inv.mu.Unlock()
 		return fmt.Errorf("inventory: ResetTo on an inventory with a journal sink")
 	}
-	return inv.resetLocked(st)
+	err := inv.resetLocked(st)
+	inv.mu.Unlock()
+	inv.flushChanges() // a resync is a full-range change: wake every watcher
+	return err
 }
 
 // resetLocked rebuilds every map from the State and publishes the free
@@ -178,6 +182,15 @@ func (inv *Inventory) resetLocked(st *State) error {
 	inv.counters = st.Counters
 	inv.journal = nil
 	inv.wait = nil
-	inv.snap.Store(&Snapshot{Version: st.Version, Slots: inv.freeLocked()})
+	// Publish at exactly State.Version with a rebuilt index and a
+	// full-range invalidation: a reset replaces the whole pool, so no
+	// cached result and no dormant watcher may survive unexamined. The
+	// ring restarts at this version (it need not be prev+1).
+	inv.free = make(map[int]slots.List, len(inv.base))
+	list := inv.rebuildAllLocked()
+	c := Change{Version: st.Version, Lo: math.Inf(-1), Hi: math.Inf(1)}
+	inv.inval.append(c)
+	inv.snap.Store(&Snapshot{Version: st.Version, Slots: list})
+	inv.pending = append(inv.pending, c)
 	return nil
 }

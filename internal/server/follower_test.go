@@ -10,7 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"slotsel/internal/core"
 	"slotsel/internal/inventory"
+	"slotsel/internal/job"
+	"slotsel/internal/persist"
 	"slotsel/internal/testkit"
 	"slotsel/internal/wal"
 )
@@ -248,5 +251,123 @@ func TestStatuszDurabilitySections(t *testing.T) {
 	}
 	if fs.Replication.LastAppliedSeq != inv.Seq() {
 		t.Errorf("replication.last_applied_seq %d, want %d", fs.Replication.LastAppliedSeq, inv.Seq())
+	}
+}
+
+// slotListBytes renders an inventory's free list in the persist wire
+// encoding — the exact /v1/slots body — for byte comparison.
+func slotListBytes(t *testing.T, inv *inventory.Inventory) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := persist.WriteSlotList(&buf, inv.Snapshot().Slots); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFollowerSweepInertAcrossExpire pins the frozen-clock contract: a
+// hold whose TTL lapses in wall time must NOT expire on the follower —
+// not via the read-path sweep, not via an explicit Sweep — until the
+// leader's own OpExpire arrives, after which /v1/slots is byte-identical
+// on both sides again.
+func TestFollowerSweepInertAcrossExpire(t *testing.T) {
+	leader, follower, inv, f, _ := newLeaderFollowerPair(t)
+	code, out := postJSON(t, leader.URL+"/v1/reserve", map[string]any{
+		"request": requestJSON(t, 1, 30), "ttl_seconds": 0.05,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("reserve: status %d: %v", code, out)
+	}
+	catchUp(t, f, inv)
+	heldVersion := f.Inventory().Snapshot().Version
+	_, _, heldBody := getBody(t, follower.URL+"/v1/slots")
+
+	time.Sleep(120 * time.Millisecond) // the hold is now wall-clock lapsed
+
+	// Follower reads trigger the server's sweep path; an explicit Sweep is
+	// the harshest case. Both must leave the replica untouched.
+	_, _, again := getBody(t, follower.URL+"/v1/slots")
+	f.Inventory().Sweep()
+	if got := f.Inventory().Snapshot().Version; got != heldVersion {
+		t.Fatalf("follower expired locally: version %d -> %d", heldVersion, got)
+	}
+	if string(again) != string(heldBody) {
+		t.Fatalf("follower /v1/slots changed without a leader event:\nbefore %s\nafter  %s", heldBody, again)
+	}
+
+	// The leader's sweep journals the expiry; the follower applies it.
+	inv.Sweep()
+	if inv.Status().Counters.Expiries == 0 {
+		t.Fatal("leader never expired the lapsed hold")
+	}
+	catchUp(t, f, inv)
+	lc, lh, lb := getBody(t, leader.URL+"/v1/slots")
+	fc, fh, fb := getBody(t, follower.URL+"/v1/slots")
+	if lc != http.StatusOK || fc != http.StatusOK {
+		t.Fatalf("slots: leader %d, follower %d", lc, fc)
+	}
+	if lv, fv := lh.Get("X-Inventory-Version"), fh.Get("X-Inventory-Version"); lv != fv {
+		t.Fatalf("version headers differ across OpExpire: leader %s, follower %s", lv, fv)
+	}
+	if string(lb) != string(fb) {
+		t.Errorf("slots bodies differ across OpExpire:\nleader   %s\nfollower %s", lb, fb)
+	}
+}
+
+// TestFollowerResyncFromSnapshotKeepsLapsedHold: a follower that
+// bootstraps (resyncs) from a snapshot containing a hold whose TTL has
+// already lapsed in wall time must keep it live under the frozen clock —
+// expiry belongs to the leader's journal, even through resync.
+func TestFollowerResyncFromSnapshotKeepsLapsedHold(t *testing.T) {
+	dir := t.TempDir()
+	invOpts := inventory.Options{MinSlotLength: 1, DefaultTTL: time.Hour}
+	_, store, _, err := wal.Open(dir, invOpts, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	seedOpts := invOpts
+	seedOpts.Sink = store
+	inv, err := inventory.New(testkit.SlotList(testkit.Slot(testkit.Node(0, 5, 1), 0, 200)), seedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Reserve(&job.Request{TaskCount: 1, Volume: 50, MaxCost: 10000}, core.AMP{}, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Snapshot(inv.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond) // lapse the hold in wall time
+
+	f, err := wal.NewFollower(dir, invOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, f, inv)
+	repl := f.Inventory()
+	v := repl.Snapshot().Version
+	repl.Sweep()
+	if got := repl.Snapshot().Version; got != v {
+		t.Fatalf("Sweep expired a recovered hold during resync: version %d -> %d", v, got)
+	}
+	if holds := repl.Status().Holds; holds != 1 {
+		t.Fatalf("recovered hold count = %d, want 1", holds)
+	}
+	if got, want := slotListBytes(t, repl), slotListBytes(t, inv); got != want {
+		t.Fatalf("replica free list diverged before the leader expired:\nreplica %s\nleader  %s", got, want)
+	}
+
+	// Only the leader's OpExpire may retire it.
+	inv.Sweep()
+	if inv.Status().Counters.Expiries != 1 {
+		t.Fatalf("leader expiries = %d, want 1", inv.Status().Counters.Expiries)
+	}
+	catchUp(t, f, inv)
+	if holds := repl.Status().Holds; holds != 0 {
+		t.Fatalf("replica still holds %d after the leader's OpExpire", holds)
+	}
+	if got, want := slotListBytes(t, repl), slotListBytes(t, inv); got != want {
+		t.Fatalf("replica free list diverged after OpExpire:\nreplica %s\nleader  %s", got, want)
 	}
 }

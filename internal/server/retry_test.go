@@ -20,6 +20,9 @@ func TestRetryAfterSecondsTable(t *testing.T) {
 		want        int
 	}{
 		{"cold start: no observations yet", 10, 32, 0, 1},
+		{"rate=0 after post-drain idle reset", 3, 16, 0, 1},
+		{"near-zero service time keeps the floor", 5, 8, time.Nanosecond, 1},
+		{"queue empty after burst", 0, 4, 2 * time.Second, 1},
 		{"degenerate maxInflight", 10, 0, time.Second, 1},
 		{"negative queue snapshot clamps to empty", -3, 4, time.Second, 1},
 		{"empty queue, fast service", 0, 32, time.Millisecond, 1},

@@ -5,6 +5,7 @@
 //	POST /v1/reserve  search + TTL'd hold (the optimistic first phase)
 //	POST /v1/commit   make a hold permanent
 //	POST /v1/release  cancel a hold
+//	GET  /v1/watch    long-poll until a satisfying window appears
 //	GET  /v1/slots    current free slot list (persist slot-list format)
 //	GET  /v1/statusz  inventory + server status JSON
 //	GET  /metricsz    Prometheus text exposition (when Options.Metrics set)
@@ -23,6 +24,17 @@
 // mutating ones answer 403, because a WAL-tailing replica may change state
 // only by applying the leader's journal; Options.Follower adds the
 // replica's replication progress to statusz and the metrics.
+//
+// # Event-driven finds
+//
+// /v1/find rides a churn-aware result cache (inventory.FindCache): a
+// memoized window is served only when the inventory's invalidation history
+// proves no mutation since the entry's snapshot overlapped the request's
+// time horizon, so a hit is byte-identical to a fresh full scan. /v1/watch
+// inverts the polling loop: a bounded set of subscribers long-polls for a
+// window, and each is re-evaluated only when a publication's change range
+// overlaps its horizon — the first satisfying window is pushed, a deadline
+// answers 404, and graceful drain answers 503 (see DrainWatches).
 //
 // # Admission control
 //
@@ -66,6 +78,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -126,6 +139,18 @@ type Options struct {
 	// WAL-tailing replica behind a read-only server (the "replication"
 	// statusz section and the slotserve_follower_* metrics).
 	Follower *wal.Follower
+
+	// FindCacheSize bounds the churn-aware /v1/find result cache:
+	// 0 uses the inventory package's default capacity, > 0 sets an
+	// explicit entry bound, < 0 disables the cache (every find runs a
+	// fresh full scan — the stateless oracle behavior).
+	FindCacheSize int
+
+	// WatchLimit caps concurrently parked /v1/watch subscribers; beyond
+	// it new watches are rejected with 429 + Retry-After. Default 8. It
+	// should stay below MaxInflight: a parked watch holds an execution
+	// slot for its whole long-poll.
+	WatchLimit int
 }
 
 // Server is the HTTP handler over one Inventory.
@@ -139,12 +164,20 @@ type Server struct {
 	requests atomic.Uint64
 	shed     atomic.Uint64
 
-	// completed counts admitted requests whose handler finished, and
-	// busyNanos accumulates their total handler wall time; together they
-	// give the observed mean service time the Retry-After estimate and the
-	// statusz drain-rate figures derive from.
+	// completed counts admitted requests whose handler finished; serviced
+	// and busyNanos count and time only the non-watch subset — a /v1/watch
+	// long-poll parks for seconds by design, and folding its wall time into
+	// the mean would poison the drain-rate estimate behind Retry-After.
 	completed atomic.Uint64
+	serviced  atomic.Uint64
 	busyNanos atomic.Uint64
+
+	// cache memoizes find results across requests with churn-aware
+	// invalidation; nil when Options.FindCacheSize < 0.
+	cache *inventory.FindCache
+
+	// watch is the bounded /v1/watch subscriber hub.
+	watch *watchHub
 
 	// deadlineExpired counts requests whose deadline passed while they
 	// waited in the admission queue — answered 503, distinct from shed
@@ -250,6 +283,37 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) *serverMetrics {
 		"Holds swept after their TTL lapsed.",
 		func() float64 { return float64(inv.Status().Counters.Expiries) })
 
+	if c := s.cache; c != nil {
+		reg.SampledCounter("slotserve_find_cache_hits_total",
+			"Find results served from the churn-aware cache (statusz find_cache.hits).",
+			func() float64 { return float64(c.Stats().Hits) })
+		reg.SampledCounter("slotserve_find_cache_misses_total",
+			"Find results computed by a full scan (statusz find_cache.misses).",
+			func() float64 { return float64(c.Stats().Misses) })
+		reg.SampledCounter("slotserve_find_cache_invalidated_total",
+			"Cache entries dropped because churn overlapped their horizon.",
+			func() float64 { return float64(c.Stats().Invalidated) })
+		reg.SampledCounter("slotserve_find_cache_evicted_total",
+			"Cache entries evicted by the capacity bound.",
+			func() float64 { return float64(c.Stats().Evicted) })
+		reg.SampledGauge("slotserve_find_cache_entries",
+			"Memoized request shapes currently cached.",
+			func() float64 { return float64(c.Stats().Entries) })
+	}
+	hub := s.watch
+	reg.SampledGauge("slotserve_watch_active",
+		"Watch subscribers currently parked on /v1/watch.",
+		func() float64 { return float64(hub.active()) })
+	reg.SampledCounter("slotserve_watch_delivered_total",
+		"Watches answered with a satisfying window.",
+		func() float64 { return float64(hub.delivered.Load()) })
+	reg.SampledCounter("slotserve_watch_expired_total",
+		"Watches that timed out without a window (404).",
+		func() float64 { return float64(hub.expired.Load()) })
+	reg.SampledCounter("slotserve_watch_rejected_total",
+		"Watches rejected because the subscriber limit was reached (429).",
+		func() float64 { return float64(hub.rejected.Load()) })
+
 	if w := s.opts.WAL; w != nil {
 		reg.SampledGauge("slotserve_wal_journal_seq",
 			"Last sequence handed to the WAL (appended, not necessarily durable).",
@@ -310,12 +374,25 @@ func New(inv *inventory.Inventory, opts Options) *Server {
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = 5 * time.Second
 	}
+	if opts.WatchLimit <= 0 {
+		opts.WatchLimit = 8
+	}
 	s := &Server{
 		inv:      inv,
 		opts:     opts,
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, opts.MaxInflight),
+		watch:    newWatchHub(opts.WatchLimit),
 	}
+	if opts.FindCacheSize >= 0 {
+		s.cache = inventory.NewFindCache(inv, opts.FindCacheSize)
+	}
+	// The hub re-checks a parked watch only when a publication's change
+	// range overlaps its horizon — the event-driven path: no polling, no
+	// full re-evaluation on unrelated churn. Works identically on a
+	// follower, whose replica publishes the same changes when it applies
+	// the leader's journal.
+	inv.AddChangeListener(s.watch.notify)
 	// Pre-populate the scanner pool to the admission bound: the first
 	// MaxInflight concurrent searches skip scanner construction. Best
 	// effort — sync.Pool may shed entries under GC pressure.
@@ -330,6 +407,7 @@ func New(inv *inventory.Inventory, opts Options) *Server {
 		s.mux.HandleFunc("/v1/commit", s.post(s.handleCommit))
 		s.mux.HandleFunc("/v1/release", s.post(s.handleRelease))
 	}
+	s.mux.HandleFunc("/v1/watch", s.get(s.handleWatch))
 	s.mux.HandleFunc("/v1/slots", s.get(s.handleSlots))
 	s.mux.HandleFunc("/v1/statusz", s.get(s.handleStatusz))
 	if opts.Metrics != nil {
@@ -401,8 +479,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r.WithContext(ctx))
 	dur := obs.Now() - begin
-	s.busyNanos.Add(uint64(dur))
 	s.completed.Add(1)
+	if r.URL.Path != "/v1/watch" {
+		// Watch long-polls are excluded from the service-time mean: their
+		// handler time is dominated by intentional parking, not work.
+		s.busyNanos.Add(uint64(dur))
+		s.serviced.Add(1)
+	}
 	if col := s.opts.Collector; col != nil {
 		col.Span(obs.Span{
 			Name:  "http " + r.URL.Path,
@@ -450,7 +533,7 @@ func (s *Server) finish(r *http.Request, trace string, code int, queueWait, dur 
 func normPath(p string) string {
 	switch p {
 	case "/v1/find", "/v1/reserve", "/v1/commit", "/v1/release",
-		"/v1/slots", "/v1/statusz", "/metricsz":
+		"/v1/watch", "/v1/slots", "/v1/statusz", "/metricsz":
 		return p
 	}
 	return "other"
@@ -526,10 +609,10 @@ func (s *Server) retryAfter() int {
 	return retryAfterSeconds(s.queued.Load(), s.opts.MaxInflight, s.avgService())
 }
 
-// avgService is the observed mean handler wall time; zero until the first
-// request completes.
+// avgService is the observed mean handler wall time of non-watch
+// requests; zero until the first one completes.
 func (s *Server) avgService() time.Duration {
-	n := s.completed.Load()
+	n := s.serviced.Load()
 	if n == 0 {
 		return 0
 	}
@@ -546,20 +629,25 @@ const (
 
 // retryAfterSeconds estimates how long a shed client should wait: the time
 // for the current queue (plus this request) to drain at the observed
-// service rate of maxInflight concurrent executors, rounded up to whole
-// seconds and clamped to [1, 30]. With no service-time observations yet
-// (avgService == 0) the estimate is the 1-second floor — the old
-// hard-coded behavior, now the cold-start special case.
+// drain rate — maxInflight executors retiring one request every avgService
+// — rounded up to whole seconds and clamped to [1, 30].
+//
+// The rate is guarded explicitly: with no service-time observation yet
+// (fresh boot) or a degenerate executor count, the drain rate is zero or
+// undefined, and the estimate falls back to the 1-second floor rather
+// than dividing by zero or reporting a clamp derived from stale state. A
+// post-drain idle server (queue emptied after a burst) takes the same
+// floor by arithmetic: zero waiters drain within one mean service time.
 func retryAfterSeconds(queued int64, maxInflight int, avgService time.Duration) int {
-	if avgService <= 0 || maxInflight <= 0 {
+	if queued < 0 {
+		queued = 0 // the gauge can transiently undershoot during admits
+	}
+	svc := avgService.Seconds()
+	if svc <= 0 || maxInflight <= 0 {
 		return minRetryAfterSeconds
 	}
-	if queued < 0 {
-		queued = 0
-	}
-	// Drain time = (waiters ahead + this request) x avgService / executors.
-	drain := time.Duration(queued+1) * avgService / time.Duration(maxInflight)
-	secs := int((drain + time.Second - 1) / time.Second)
+	rate := float64(maxInflight) / svc // requests retired per second
+	secs := int(math.Ceil(float64(queued+1) / rate))
 	if secs < minRetryAfterSeconds {
 		return minRetryAfterSeconds
 	}
@@ -642,6 +730,7 @@ func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (*searchBo
 			return nil, nil, false
 		}
 		in.useCSA, in.crit = true, crit
+		in.key = inventory.NewCacheKey(req, "csa:"+crit.String())
 		annotateAlg(r.Context(), "csa:"+crit.String())
 	} else {
 		name := body.Alg
@@ -654,6 +743,7 @@ func (s *Server) decodeSearch(w http.ResponseWriter, r *http.Request) (*searchBo
 			return nil, nil, false
 		}
 		in.alg = alg
+		in.key = inventory.NewCacheKey(req, alg.Name())
 		annotateAlg(r.Context(), name)
 	}
 	if body.TTLSeconds < 0 {
@@ -670,6 +760,38 @@ type searchInputs struct {
 	useCSA bool
 	crit   csa.Criterion
 	ttl    time.Duration
+
+	// key is the canonical (request shape, algorithm) identity the find
+	// cache memoizes under; the key's horizon also scopes /v1/watch
+	// re-evaluation to overlapping invalidations.
+	key inventory.CacheKey
+}
+
+// runSearch is the stateless search against one snapshot — the oracle
+// path every cached result is provably equal to.
+func (s *Server) runSearch(in *searchInputs, snap *inventory.Snapshot) (*core.Window, error) {
+	if in.useCSA {
+		alts, err := csa.SearchObserved(snap.Slots, in.req, csa.Options{}, s.opts.Collector)
+		if err != nil {
+			return nil, err
+		}
+		return csa.Best(alts, in.crit), nil
+	}
+	return core.FindObserved(in.alg, snap.Slots, in.req, s.opts.Collector)
+}
+
+// search resolves a find through the churn-aware cache when enabled; with
+// the cache disabled it is exactly the stateless scan. Either way the
+// snapshot the result is valid against is returned alongside.
+func (s *Server) search(in *searchInputs) (*core.Window, *inventory.Snapshot, error) {
+	if s.cache == nil {
+		snap := s.inv.Snapshot()
+		win, err := s.runSearch(in, snap)
+		return win, snap, err
+	}
+	return s.cache.Find(in.key, func(snap *inventory.Snapshot) (*core.Window, error) {
+		return s.runSearch(in, snap)
+	})
 }
 
 func criterionByName(name string) (csa.Criterion, bool) {
@@ -689,24 +811,16 @@ func (s *Server) rejectReadOnly(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusForbidden, "read-only follower: send mutations to the leader")
 }
 
-// handleFind is the stateless search: nothing is held.
+// handleFind is the stateless search: nothing is held. It rides the find
+// cache — a hit is served only when the invalidation history proves no
+// churn since the entry's snapshot overlapped the request's horizon, so
+// the response is byte-identical to a fresh full scan either way.
 func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 	_, in, ok := s.decodeSearch(w, r)
 	if !ok {
 		return
 	}
-	snap := s.inv.Snapshot()
-	var win *core.Window
-	var err error
-	if in.useCSA {
-		var alts []*core.Window
-		alts, err = csa.SearchObserved(snap.Slots, in.req, csa.Options{}, s.opts.Collector)
-		if err == nil {
-			win = csa.Best(alts, in.crit)
-		}
-	} else {
-		win, err = core.FindObserved(in.alg, snap.Slots, in.req, s.opts.Collector)
-	}
+	win, snap, err := s.search(in)
 	if errors.Is(err, core.ErrNoWindow) {
 		writeError(w, http.StatusNotFound, "no feasible window")
 		return
@@ -884,12 +998,22 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			"avg_service_ns":   s.avgService().Nanoseconds(),
 			"retry_after_hint": s.retryAfter(),
 		},
+		"watch": map[string]any{
+			"active":    s.watch.active(),
+			"limit":     s.opts.WatchLimit,
+			"delivered": s.watch.delivered.Load(),
+			"expired":   s.watch.expired.Load(),
+			"rejected":  s.watch.rejected.Load(),
+		},
 		"runtime": map[string]any{
 			"heap_alloc_bytes":  ms.HeapAlloc,
 			"heap_inuse_bytes":  ms.HeapInuse,
 			"gc_cycles":         ms.NumGC,
 			"gc_pause_total_ns": ms.PauseTotalNs,
 		},
+	}
+	if s.cache != nil {
+		body["find_cache"] = s.cache.Stats()
 	}
 	// The durability figures come from the same store atomics the
 	// slotserve_wal_* metrics sample, so statusz and /metricsz agree.
