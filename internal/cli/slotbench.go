@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"slotsel/internal/batchsched"
@@ -19,6 +20,7 @@ import (
 	"slotsel/internal/inventory"
 	"slotsel/internal/job"
 	"slotsel/internal/randx"
+	"slotsel/internal/slots"
 	"slotsel/internal/testkit"
 )
 
@@ -44,6 +46,12 @@ type benchResult struct {
 
 	// Jobs is the batch size for the batch bench.
 	Jobs int `json:"jobs,omitempty"`
+
+	// Shards and Workers describe the churn bench: the inventory shard
+	// count behind the pool and the concurrent client goroutines driving
+	// the Reserve→Release cycles. Zero for the other benches.
+	Shards  int `json:"shards,omitempty"`
+	Workers int `json:"workers,omitempty"`
 
 	// NsPerOp is the minimum wall time of one operation over Iters timed
 	// repetitions.
@@ -296,6 +304,104 @@ func benchOpsGrid(seed uint64, nodeCounts, taskCounts []int) ([]benchOp, error) 
 			},
 		})
 	}
+	churn, err := benchChurnOps(seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(ops, churn...), nil
+}
+
+// benchChurnOps is the shard-sweep: the identical Reserve→Release churn
+// workload measured at 1, 2 and 4 inventory shards, serially and under
+// parallel workers. Every variant cycles the same pre-built single-node
+// windows (found once against the initial snapshot; a released window is
+// immediately reservable again, so the pool returns to its starting state
+// every op), which isolates the mutation path the sharding tentpole
+// targets: per-shard locking and the O(slots/shard) snapshot
+// republication, with no search time mixed in. One op is a full pass —
+// every window reserved and released once — so ns_per_op at equal work
+// divides out directly into the cross-shard speedup.
+func benchChurnOps(seed uint64) ([]benchOp, error) {
+	// A dense instance — many slots per node — so the cost under
+	// measurement is the one sharding divides: the O(slots/shard)
+	// republication splice behind every mutation. Slots are laid out with
+	// gaps so interval merging cannot collapse them.
+	const (
+		churnNodes        = 64
+		churnSlotsPerNode = 48
+	)
+	rng := randx.New(seed)
+	var list slots.List
+	for id := 0; id < churnNodes; id++ {
+		n := testkit.Node(id, float64(rng.IntRange(2, 10)), 0.3+3*rng.Float64())
+		for k := 0; k < churnSlotsPerNode; k++ {
+			start := float64(k * 100)
+			list = append(list, &slots.Slot{Node: n, Interval: slots.Interval{Start: start, End: start + 80}})
+		}
+	}
+	var ops []benchOp
+	for _, nShards := range []int{1, 2, 4} {
+		pool, err := inventory.NewSharded(list, inventory.Options{MinSlotLength: 1, Shards: nShards})
+		if err != nil {
+			return nil, err
+		}
+		// One window per node, on the node's first free slot: windows on
+		// distinct nodes never contend for capacity, so every reserve
+		// succeeds and parallel workers measure lock contention, not
+		// conflict retries.
+		seen := make(map[int]bool)
+		var wins []*core.Window
+		for _, s := range pool.Snapshot().Slots {
+			if seen[s.Node.ID] {
+				continue
+			}
+			seen[s.Node.ID] = true
+			length := s.Interval.End - s.Interval.Start
+			wins = append(wins, core.NewWindow(s.Interval.Start, []core.Candidate{
+				{Slot: s, Exec: length / 2, Cost: 1},
+			}))
+		}
+		for _, workers := range []int{1, 4} {
+			pool, wins, workers := pool, wins, workers
+			op := func() {
+				if workers == 1 {
+					for _, w := range wins {
+						res, err := pool.ReserveWindow(w, time.Hour)
+						if err != nil {
+							continue
+						}
+						_ = pool.Release(res.ID)
+					}
+					return
+				}
+				var wg sync.WaitGroup
+				for g := 0; g < workers; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := g; i < len(wins); i += workers {
+							res, err := pool.ReserveWindow(wins[i], time.Hour)
+							if err != nil {
+								continue
+							}
+							_ = pool.Release(res.ID)
+						}
+					}(g)
+				}
+				wg.Wait()
+			}
+			meta := benchResult{
+				Bench: "churn", Shards: nShards, Workers: workers,
+				Nodes: churnNodes, Slots: len(list),
+			}
+			ops = append(ops, benchOp{
+				name:        benchName(meta),
+				meta:        meta,
+				allocRounds: churnAllocRounds,
+				op:          op,
+			})
+		}
+	}
 	return ops, nil
 }
 
@@ -498,6 +604,7 @@ const (
 	findAllocRounds  = 200
 	csaAllocRounds   = 50
 	batchAllocRounds = 5
+	churnAllocRounds = 10
 )
 
 // benchAlloc reports the mean heap allocations and bytes of one op over a

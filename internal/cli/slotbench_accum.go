@@ -48,6 +48,8 @@ func benchName(r benchResult) string {
 		return fmt.Sprintf("BenchmarkCSA/nodes=%d/tasks=%d", r.Nodes, r.Tasks)
 	case "batch":
 		return fmt.Sprintf("BenchmarkBatch/nodes=%d/jobs=%d", r.Nodes, r.Jobs)
+	case "churn":
+		return fmt.Sprintf("BenchmarkChurn/shards=%d/workers=%d/nodes=%d", r.Shards, r.Workers, r.Nodes)
 	}
 	return "Benchmark" + r.Bench
 }

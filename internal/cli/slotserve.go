@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -46,6 +47,7 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		snapEvts = fs.Uint64("snapshot-every", 4096, "also snapshot once this many events accumulate since the last one; 0 = time-based only (with -data-dir)")
 		follow   = fs.String("follow", "", "tail this WAL `directory` as a read-only follower (excludes -slots and -data-dir)")
 		poll     = fs.Duration("poll", 200*time.Millisecond, "follower poll interval (with -follow)")
+		shards   = fs.Int("shards", 1, "inventory `shards`: >1 partitions nodes by ID hash across independent shards, each with its own lock, published snapshot, and (with -data-dir) WAL directory")
 	)
 	obsF := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -53,6 +55,14 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 	}
 	if *follow != "" && (*slotFile != "" || *dataDir != "") {
 		fmt.Fprintln(stderr, "slotserve: -follow excludes -slots and -data-dir (a follower's state comes from the leader's log)")
+		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintln(stderr, "slotserve: -shards must be at least 1")
+		return 2
+	}
+	if *shards > 1 && *follow != "" {
+		fmt.Fprintln(stderr, "slotserve: -follow excludes -shards (a follower replicates one leader log)")
 		return 2
 	}
 	if *follow == "" && *slotFile == "" && *dataDir == "" {
@@ -102,9 +112,15 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		RequestLog:     reqLog,
 	}
 
-	var inv *inventory.Inventory
-	var store *wal.Store
+	var inv inventory.Pool
+	var store *wal.Store    // single-pool durability (-data-dir, -shards 1)
+	var stores []*wal.Store // per-shard durability (-data-dir, -shards > 1)
 	var flwr *wal.Follower
+	closeStores := func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
 	switch {
 	case *follow != "":
 		flwr, err = wal.NewFollower(*follow, invOpts)
@@ -116,6 +132,48 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 		srvOpts.ReadOnly = true
 		srvOpts.Follower = flwr
 		fmt.Fprintf(stderr, "slotserve: read-only follower of %s (applied seq %d)\n", *follow, flwr.LastSeq())
+
+	case *dataDir != "" && *shards > 1:
+		walOpts := wal.Options{OnFsync: server.FsyncHistogram(reg)}
+		pool, sts, results, err := wal.OpenSharded(*dataDir, *shards, invOpts, walOpts)
+		if err != nil {
+			fmt.Fprintln(stderr, "slotserve:", err)
+			return 1
+		}
+		stores = sts
+		srvOpts.WALs = sts
+		if pool != nil {
+			inv = pool
+			if *slotFile != "" {
+				fmt.Fprintf(stderr, "slotserve: %s already holds state; -slots %s ignored (recovered state wins)\n", *dataDir, *slotFile)
+			}
+			events, truncated := 0, false
+			for _, res := range results {
+				events += len(res.Events)
+				truncated = truncated || res.Truncated
+			}
+			fmt.Fprintf(stderr, "slotserve: recovered %d shards from %s (%d events replayed, torn tail truncated: %v)\n",
+				*shards, *dataDir, events, truncated)
+		} else {
+			if *slotFile == "" {
+				closeStores()
+				fmt.Fprintf(stderr, "slotserve: %s is empty; -slots is required to seed a fresh durable inventory\n", *dataDir)
+				return 2
+			}
+			list, err := loadSlotFile(*slotFile)
+			if err != nil {
+				closeStores()
+				fmt.Fprintln(stderr, "slotserve:", err)
+				return 1
+			}
+			pool, err := wal.SeedSharded(list, invOpts, stores)
+			if err != nil {
+				closeStores()
+				fmt.Fprintln(stderr, "slotserve:", err)
+				return 1
+			}
+			inv = pool
+		}
 
 	case *dataDir != "":
 		walOpts := wal.Options{OnFsync: server.FsyncHistogram(reg)}
@@ -161,7 +219,13 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "slotserve:", err)
 			return 1
 		}
-		inv, err = inventory.New(list, invOpts)
+		if *shards > 1 {
+			so := invOpts
+			so.Shards = *shards
+			inv, err = inventory.NewSharded(list, so)
+		} else {
+			inv, err = inventory.New(list, invOpts)
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "slotserve:", err)
 			return 1
@@ -182,10 +246,26 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 	bgStop := make(chan struct{})
 	bgDone := make(chan struct{})
 	switch {
+	case len(stores) > 0:
+		// One snapshotter per shard: each store snapshots its own shard's
+		// state, on its own cadence, exactly like a single-pool leader.
+		pool := inv.(*inventory.Sharded)
+		var wg sync.WaitGroup
+		for i := range stores {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				snapshotLoop(pool.Shard(i), stores[i], *snapIvl, *snapEvts, bgStop, stderr)
+			}(i)
+		}
+		go func() {
+			wg.Wait()
+			close(bgDone)
+		}()
 	case store != nil:
 		go func() {
 			defer close(bgDone)
-			snapshotLoop(inv, store, *snapIvl, *snapEvts, bgStop, stderr)
+			snapshotLoop(inv.(*inventory.Inventory), store, *snapIvl, *snapEvts, bgStop, stderr)
 		}()
 	case flwr != nil:
 		go func() {
@@ -234,11 +314,27 @@ func Slotserve(args []string, stdout, stderr io.Writer) int {
 
 	close(bgStop)
 	<-bgDone
-	if store != nil {
+	if len(stores) > 0 {
+		// Final flush, shard by shard: each store snapshots and closes its
+		// own shard, so a slow shard cannot block another's fsync queue.
+		pool := inv.(*inventory.Sharded)
+		for i, st := range stores {
+			if stats := st.Stats(); stats.AppendedSeq > stats.SnapshotSeq {
+				if err := st.Snapshot(pool.Shard(i).ExportState()); err != nil {
+					fmt.Fprintf(stderr, "slotserve: final snapshot (shard %d): %v\n", i, err)
+					code = 1
+				}
+			}
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(stderr, "slotserve: wal close (shard %d): %v\n", i, err)
+				code = 1
+			}
+		}
+	} else if store != nil {
 		// Final flush: a parting snapshot makes the next boot's replay
 		// instant, and Close drains any still-queued appends to disk.
 		if st := store.Stats(); st.AppendedSeq > st.SnapshotSeq {
-			if err := store.Snapshot(inv.ExportState()); err != nil {
+			if err := store.Snapshot(inv.(*inventory.Inventory).ExportState()); err != nil {
 				fmt.Fprintln(stderr, "slotserve: final snapshot:", err)
 				code = 1
 			}

@@ -28,7 +28,7 @@ import (
 // entirely at or beyond it can never host or displace a candidate — and
 // [0, +Inf) otherwise.
 type FindCache struct {
-	inv *Inventory
+	inv Pool
 
 	mu      sync.Mutex
 	entries map[CacheKey]*cacheEntry
@@ -110,15 +110,18 @@ type cacheEntry struct {
 	win     *core.Window
 }
 
-// defaultCacheEntries bounds the cache when NewFindCache is given a
-// non-positive capacity.
-const defaultCacheEntries = 256
+// DefaultFindCacheEntries bounds the cache when NewFindCache is given a
+// non-positive capacity. Callers sizing a cache over a sharded pool treat
+// this (or their configured value) as a per-shard budget and multiply by
+// the shard count — see server.Options.FindCacheSize.
+const DefaultFindCacheEntries = 256
 
-// NewFindCache builds a cache over inv holding at most maxEntries
-// memoized request shapes (<= 0 means a default of 256).
-func NewFindCache(inv *Inventory, maxEntries int) *FindCache {
+// NewFindCache builds a cache over a pool (a single Inventory or a
+// Sharded router) holding at most maxEntries memoized request shapes
+// (<= 0 means DefaultFindCacheEntries).
+func NewFindCache(inv Pool, maxEntries int) *FindCache {
 	if maxEntries <= 0 {
-		maxEntries = defaultCacheEntries
+		maxEntries = DefaultFindCacheEntries
 	}
 	return &FindCache{
 		inv:        inv,

@@ -46,6 +46,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +115,24 @@ type Options struct {
 	// Clock overrides the time source for hold expiry (test seam).
 	// nil = time.Now.
 	Clock func() time.Time
+
+	// Shards partitions the pool (NewSharded): slots are routed to shards by
+	// a stable hash of their node ID, each shard an independent Inventory
+	// with its own mutex, snapshot, journal and sweeper. 0 means GOMAXPROCS;
+	// 1 is today's single-pool behavior byte-for-byte. Ignored by New.
+	Shards int
+
+	// SeqStamp, when non-nil, stamps every journaled event with a global
+	// sequence number (Event.GSeq) drawn from a counter shared across the
+	// shards of one Sharded pool — the merge key that orders the union of
+	// the per-shard journals. Set by NewSharded/wal.OpenSharded; leave nil
+	// for a standalone inventory.
+	SeqStamp func() uint64
+
+	// ShardSink, when non-nil, supplies the durable journal sink for each
+	// shard of a Sharded pool (per-shard WAL directories). Used instead of
+	// Sink when Shards > 1; ignored by New.
+	ShardSink func(shard int) JournalSink
 }
 
 // Snapshot is an immutable published view of the free pool. The slot list
@@ -194,6 +214,7 @@ type Inventory struct {
 	committed map[string]*core.Window  // permanent allocations
 	nextID    uint64
 	seq       uint64
+	gseqHigh  uint64 // highest Event.GSeq journaled or applied (sharded pools)
 	journal   []Event
 	counters  Counters
 
@@ -299,6 +320,20 @@ func (inv *Inventory) Seq() uint64 {
 	return inv.seq
 }
 
+// GSeq returns the highest global (cross-shard) sequence number this
+// inventory has journaled or applied; zero when it was never part of a
+// sharded pool. Recovery advances the shared ShardSeq past the maximum
+// GSeq across all shards so new stamps stay globally monotonic.
+func (inv *Inventory) GSeq() uint64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.gseqHigh
+}
+
+// Shards reports the partition count: always 1 for a standalone Inventory.
+// (Part of the Pool interface shared with the sharded router.)
+func (inv *Inventory) Shards() int { return 1 }
+
 // Snapshot returns the current free pool. Lock-free: the returned value is
 // immutable and stays valid (as a stale snapshot) forever.
 func (inv *Inventory) Snapshot() *Snapshot {
@@ -399,6 +434,60 @@ func (inv *Inventory) ReserveWindow(w *core.Window, ttl time.Duration) (*Reserva
 		inv.holds[id] = &hold{window: w, expires: expires}
 		inv.allocateLocked(w)
 		inv.counters.Reserves++
+		inv.publishLocked(windowNodes(w))
+		inv.spanLocked("inventory.Reserve", begin, id)
+		res = &Reservation{ID: id, Window: w, Version: inv.snap.Load().Version, Expires: expires}
+	} else {
+		inv.counters.Conflicts++
+		inv.spanLocked("inventory.Reserve", begin, "conflict")
+	}
+	wait := inv.takeWaitLocked()
+	inv.mu.Unlock()
+	inv.flushChanges()
+	if err := awaitDurable(wait); err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrConflict
+	}
+	return res, nil
+}
+
+// ReserveWindowID places a hold under a caller-minted ID with an absolute
+// expiry — the sharded router's two-phase prepare primitive: the router
+// mints one ID, then prepares a sub-hold on every touched shard in shard
+// order under that ID, so commit/release/rollback address the same name
+// everywhere. The event journals as a normal OpReserve (a conflict journals
+// with an empty ID, exactly like ReserveWindow), so per-shard replay is
+// unchanged. The shard's own ID counter advances past numeric caller IDs,
+// keeping locally minted IDs collision-free.
+func (inv *Inventory) ReserveWindowID(id string, w *core.Window, expires time.Time) (*Reservation, error) {
+	if w == nil || len(w.Placements) == 0 {
+		return nil, fmt.Errorf("inventory: cannot reserve an empty window")
+	}
+	if id == "" {
+		return nil, fmt.Errorf("inventory: reservation needs an ID")
+	}
+	var begin time.Duration
+	if inv.opts.Collector != nil {
+		begin = obs.Now()
+	}
+	inv.mu.Lock()
+	inv.sweepLocked()
+	ok := inv.holds[id] == nil && inv.committed[id] == nil && inv.fitsLocked(w)
+	evID := ""
+	if ok {
+		evID = id
+	}
+	inv.recordLocked(Event{Op: OpReserve, ID: evID, Window: w, OK: ok, Expires: expires})
+	var res *Reservation
+	if ok {
+		inv.holds[id] = &hold{window: w, expires: expires}
+		inv.allocateLocked(w)
+		inv.counters.Reserves++
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "r"), 10, 64); err == nil && n > inv.nextID {
+			inv.nextID = n
+		}
 		inv.publishLocked(windowNodes(w))
 		inv.spanLocked("inventory.Reserve", begin, id)
 		res = &Reservation{ID: id, Window: w, Version: inv.snap.Load().Version, Expires: expires}

@@ -1,0 +1,926 @@
+// Sharded partitions the inventory into N independent shards keyed by a
+// stable hash of the node ID, each a full Inventory with its own mutex,
+// copy-on-write snapshot, journal (and WAL segment, when durable), free
+// index, change ring and sweeper — so mutations on different shards never
+// contend. A thin router in front owns everything cross-shard:
+//
+//   - Find/Reserve/ReserveBest search one merged global snapshot (a k-way
+//     merge of the per-shard free lists in the canonical (start, node, end)
+//     order), because the AEP kernels and CSA scan a single globally sorted
+//     list and co-allocation windows span arbitrary nodes — per-shard
+//     searches stitched together afterwards would not be byte-identical to
+//     the unsharded scan. The merged snapshot is cached and revalidated by
+//     per-shard versions, so quiet pools pay nothing.
+//
+//   - Cross-shard windows reserve via a two-phase hold: the router mints
+//     one ID, prepares a sub-hold on every touched shard in ascending
+//     shard order, and rolls the prepared ones back if any shard refuses.
+//     Zero double-booking is preserved because every span is guarded by
+//     exactly one shard's fitsLocked check.
+//
+//   - Every event is stamped with a global sequence number (Event.GSeq)
+//     from a counter shared by all shards; sorting the union of the shard
+//     journals by GSeq gives one total order whose per-shard subsequences
+//     are each shard's local journal, so global replay = ordered merge of
+//     the per-shard replays.
+//
+// With one shard every method delegates straight to the single Inventory:
+// Shards=1 is today's behavior byte-for-byte.
+package inventory
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slotsel/internal/core"
+	"slotsel/internal/csa"
+	"slotsel/internal/job"
+	"slotsel/internal/slots"
+)
+
+// Pool is the interface shared by a standalone *Inventory and the sharded
+// router (*Sharded): everything the HTTP front end, the find cache and the
+// benchmarks need from a slot pool. A single Inventory is a 1-shard Pool.
+type Pool interface {
+	Snapshot() *Snapshot
+	Reserve(req *job.Request, alg core.Algorithm, ttl time.Duration) (*Reservation, error)
+	ReserveBest(req *job.Request, crit csa.Criterion, maxAlts int, ttl time.Duration) (*Reservation, error)
+	ReserveWindow(w *core.Window, ttl time.Duration) (*Reservation, error)
+	Commit(id string) (*core.Window, error)
+	Release(id string) error
+	Add(list slots.List) error
+	Withdraw(nodeID int) ([]string, error)
+	Sweep() int
+	Status() Status
+	Holds() []string
+	Committed() map[string]*core.Window
+	AddChangeListener(fn func(Change))
+	InvalidatedSince(since, now uint64, lo, hi float64) bool
+	Shards() int
+}
+
+var (
+	_ Pool = (*Inventory)(nil)
+	_ Pool = (*Sharded)(nil)
+)
+
+// ShardSeq is the global sequence counter shared by the shards of one
+// pool: every journaled event draws its GSeq from it under the shard
+// mutex. Recovery advances it past the highest GSeq found on disk so new
+// stamps stay globally monotonic across restarts.
+type ShardSeq struct{ c atomic.Uint64 }
+
+// Next returns the next global sequence number.
+func (s *ShardSeq) Next() uint64 { return s.c.Add(1) }
+
+// Load returns the current high-water mark.
+func (s *ShardSeq) Load() uint64 { return s.c.Load() }
+
+// Advance raises the counter to at least v (CAS-max; concurrent-safe).
+func (s *ShardSeq) Advance(v uint64) {
+	for {
+		cur := s.c.Load()
+		if cur >= v || s.c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ShardOf maps a node ID to its owning shard: Fibonacci multiplicative
+// hashing on the node ID, reduced mod n. This mapping is part of the
+// on-disk contract of a sharded WAL directory (each shard journals only
+// its own nodes' events), so it must never change for existing layouts.
+func ShardOf(nodeID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((uint64(int64(nodeID)) * 0x9E3779B97F4A7C15) % uint64(n))
+}
+
+// crossShardGrace pads the shard-level TTL of a cross-shard hold past its
+// client-visible expiry: the router is the authority on when a two-phase
+// hold lapses (Commit rejects at the client deadline), and the grace keeps
+// the independent shard sweepers from racing a commit fan-out that started
+// just before the deadline. After expiry+grace the shard sweepers reclaim
+// the sub-holds on their own even if the router never sweeps.
+const crossShardGrace = 2 * time.Second
+
+// liveRes is the router's routing record for one reservation: which
+// shards hold its parts, the client-visible deadline, and the original
+// window (placements in discovery order — the window Commit returns).
+type liveRes struct {
+	shards  []int // owning shards, ascending
+	expires time.Time
+	window  *core.Window
+}
+
+// liveStripe is one lock stripe of the routing table. Striping keeps the
+// router bookkeeping from re-serializing what the shard mutexes just
+// unserialized.
+type liveStripe struct {
+	mu        sync.Mutex
+	m         map[string]*liveRes
+	committed map[string]*core.Window // original windows of settled holds
+}
+
+// combined is one assembled global snapshot: the merged free list, the
+// per-shard versions it was cut from, and its own (router-level) version.
+type combined struct {
+	version uint64
+	vec     []uint64 // per-shard snapshot versions at assembly
+	snap    *Snapshot
+}
+
+// vecRing maps combined versions to their per-shard version vectors, so
+// InvalidatedSince between two combined versions can be answered by the
+// per-shard rings. Combined versions are consecutive (assembly is
+// serialized), so entry i covers version base+i; versions that fell off
+// the ring are answered conservatively (invalidated).
+type vecRing struct {
+	mu   sync.Mutex
+	base uint64
+	vecs [][]uint64
+}
+
+func (r *vecRing) put(version uint64, vec []uint64) {
+	r.mu.Lock()
+	if r.base == 0 || version != r.base+uint64(len(r.vecs)) {
+		r.base = version
+		r.vecs = append(r.vecs[:0], vec)
+	} else {
+		r.vecs = append(r.vecs, vec)
+		if len(r.vecs) > maxInvalRetained {
+			drop := len(r.vecs) - maxInvalRetained
+			r.base += uint64(drop)
+			r.vecs = append(r.vecs[:0], r.vecs[drop:]...)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *vecRing) get(version uint64) []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.base == 0 || version < r.base || version >= r.base+uint64(len(r.vecs)) {
+		return nil
+	}
+	return r.vecs[version-r.base]
+}
+
+// Sharded is the partitioned pool: N Inventory shards plus the router
+// state. All methods are safe for concurrent use.
+type Sharded struct {
+	opts   Options
+	shards []*Inventory
+
+	nextID   atomic.Uint64 // router ID mint (shared namespace across shards)
+	noWindow atomic.Uint64 // failed searches (they journal no event anywhere)
+
+	// mergeMu serializes merged-snapshot assembly; cur is the latest
+	// assembly, revalidated lock-free against the live shard versions.
+	mergeMu sync.Mutex
+	mergeV  atomic.Uint64
+	cur     atomic.Pointer[combined]
+	vers    vecRing
+
+	stripes []liveStripe
+}
+
+// NewSharded builds a partitioned pool over the initial slot list.
+// opts.Shards picks the partition count (0 = GOMAXPROCS); every shard is
+// constructed even when its partition is empty, so a durable layout always
+// journals a construction event per shard directory. opts.ShardSink, when
+// set, supplies each shard's journal sink; opts.Sink is rejected for n>1
+// (shards cannot share one sequence-checked sink).
+func NewSharded(list slots.List, opts Options) (*Sharded, error) {
+	n := opts.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("inventory: invalid shard count %d", n)
+	}
+	if n > 1 && opts.Sink != nil {
+		return nil, fmt.Errorf("inventory: a sharded pool needs per-shard sinks (Options.ShardSink), not one shared Sink")
+	}
+	if opts.DefaultTTL <= 0 {
+		opts.DefaultTTL = DefaultTTL
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if n > 1 && opts.SeqStamp == nil {
+		seq := &ShardSeq{}
+		opts.SeqStamp = seq.Next
+	}
+	parts := make([]slots.List, n)
+	for _, s := range list {
+		si := ShardOf(s.Node.ID, n)
+		parts[si] = append(parts[si], s)
+	}
+	shards := make([]*Inventory, n)
+	for i := range shards {
+		so := opts
+		so.Shards, so.ShardSink = 0, nil
+		if n == 1 {
+			so.SeqStamp = nil // single pool: byte-for-byte today's behavior
+		}
+		if opts.ShardSink != nil {
+			so.Sink = opts.ShardSink(i)
+		}
+		inv, err := New(parts[i], so)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = inv
+	}
+	return newRouter(shards, opts), nil
+}
+
+// NewShardedFrom assembles a router over already-built shards — the
+// recovery path (wal.OpenSharded): each shard was restored from its own
+// snapshot + log tail, and the router rebuilds its routing table from the
+// recovered holds. A recovered cross-shard hold is recognized by its ID
+// appearing on several shards; its client deadline is the shard deadline
+// minus the grace, and its placements are regrouped in shard order (the
+// discovery order did not survive the crash — the aggregates are
+// recomputed, the spans are exact).
+func NewShardedFrom(shards []*Inventory, opts Options) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("inventory: sharded pool needs at least one shard")
+	}
+	if opts.DefaultTTL <= 0 {
+		opts.DefaultTTL = DefaultTTL
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	s := newRouter(shards, opts)
+	if len(shards) == 1 {
+		return s, nil
+	}
+	type part struct {
+		shard int
+		h     HoldRecord
+	}
+	byID := make(map[string][]part)
+	var maxID uint64
+	for i, sh := range shards {
+		st := sh.ExportState()
+		if st.NextID > maxID {
+			maxID = st.NextID
+		}
+		for _, h := range st.Holds {
+			byID[h.ID] = append(byID[h.ID], part{shard: i, h: h})
+		}
+	}
+	s.nextID.Store(maxID)
+	for id, ps := range byID {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].shard < ps[j].shard })
+		e := &liveRes{expires: ps[0].h.Expires, window: ps[0].h.Window}
+		for _, p := range ps {
+			e.shards = append(e.shards, p.shard)
+		}
+		if len(ps) > 1 {
+			e.expires = e.expires.Add(-crossShardGrace)
+			wins := make([]*core.Window, len(ps))
+			for i, p := range ps {
+				wins[i] = p.h.Window
+			}
+			e.window = mergeWindowParts(wins)
+		}
+		st := s.stripe(id)
+		st.m[id] = e
+	}
+	return s, nil
+}
+
+func newRouter(shards []*Inventory, opts Options) *Sharded {
+	s := &Sharded{opts: opts, shards: shards}
+	s.stripes = make([]liveStripe, len(shards))
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[string]*liveRes)
+		s.stripes[i].committed = make(map[string]*core.Window)
+	}
+	if len(shards) > 1 {
+		s.mergeMu.Lock()
+		s.cur.Store(s.assembleLocked())
+		s.mergeMu.Unlock()
+	}
+	return s
+}
+
+// stripe picks the routing-table stripe for an ID (FNV-1a).
+func (s *Sharded) stripe(id string) *liveStripe {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return &s.stripes[h%uint64(len(s.stripes))]
+}
+
+// Shards reports the partition count (Pool interface).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Shard returns the i'th partition — the seam for per-shard WAL
+// snapshots, the merged-replay suite and per-shard telemetry.
+func (s *Sharded) Shard(i int) *Inventory { return s.shards[i] }
+
+// GSeq returns the highest global sequence number stamped on any shard.
+func (s *Sharded) GSeq() uint64 {
+	var max uint64
+	for _, sh := range s.shards {
+		if g := sh.GSeq(); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// ---- merged snapshot ----
+
+// Snapshot returns the merged global free list. With one shard this is the
+// shard's own snapshot; otherwise the cached assembly is revalidated
+// against the live per-shard versions (n atomic loads, no allocation) and
+// reassembled only when some shard has published since.
+//
+// The merged list is in the same canonical (start, node, end) order the
+// single-pool snapshot uses — shards partition the node space, so the
+// k-way merge of their individually sorted lists is exactly the globally
+// sorted list, and any search over it sees the byte-identical candidate
+// stream the unsharded scan would see.
+func (s *Sharded) Snapshot() *Snapshot {
+	if len(s.shards) == 1 {
+		return s.shards[0].Snapshot()
+	}
+	c := s.cur.Load()
+	if s.fresh(c) {
+		return c.snap
+	}
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	c = s.cur.Load()
+	if s.fresh(c) {
+		return c.snap
+	}
+	c = s.assembleLocked()
+	s.cur.Store(c)
+	return c.snap
+}
+
+func (s *Sharded) fresh(c *combined) bool {
+	for i, sh := range s.shards {
+		if sh.Snapshot().Version != c.vec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assembleLocked cuts a new merged snapshot (mergeMu held). Each shard's
+// list is individually consistent; the assembly is the scatter-gather
+// read point, revalidated per shard on the reserve path exactly like a
+// stale single-pool snapshot would be.
+func (s *Sharded) assembleLocked() *combined {
+	vec := make([]uint64, len(s.shards))
+	parts := make([]slots.List, len(s.shards))
+	total := 0
+	for i, sh := range s.shards {
+		snap := sh.Snapshot()
+		vec[i] = snap.Version
+		parts[i] = snap.Slots
+		total += len(snap.Slots)
+	}
+	merged := make(slots.List, 0, total)
+	heads := make([]int, len(parts))
+	for len(merged) < total {
+		best := -1
+		for i, h := range heads {
+			if h >= len(parts[i]) {
+				continue
+			}
+			if best < 0 || slotBefore(parts[i][h], parts[best][heads[best]]) {
+				best = i
+			}
+		}
+		merged = append(merged, parts[best][heads[best]])
+		heads[best]++
+	}
+	version := s.mergeV.Add(1)
+	c := &combined{version: version, vec: vec, snap: &Snapshot{Version: version, Slots: merged}}
+	s.vers.put(version, vec)
+	return c
+}
+
+// InvalidatedSince reports whether free capacity overlapping [lo, hi)
+// may have changed between two merged-snapshot versions: the per-shard
+// version vectors of both are looked up and each shard's own invalidation
+// ring is consulted. Vectors that fell off the ring answer conservatively.
+func (s *Sharded) InvalidatedSince(since, now uint64, lo, hi float64) bool {
+	if len(s.shards) == 1 {
+		return s.shards[0].InvalidatedSince(since, now, lo, hi)
+	}
+	if since == now {
+		return false
+	}
+	if now < since {
+		return true
+	}
+	vs := s.vers.get(since)
+	vn := s.vers.get(now)
+	if vs == nil || vn == nil {
+		return true
+	}
+	for i, sh := range s.shards {
+		if sh.InvalidatedSince(vs[i], vn[i], lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddChangeListener fans the subscription out to every shard: the change
+// feed carries time ranges (Change.Lo/Hi), which are shard-agnostic, so a
+// watcher woken by any shard's publication re-examines its horizon exactly
+// as with a single pool.
+func (s *Sharded) AddChangeListener(fn func(Change)) {
+	for _, sh := range s.shards {
+		sh.AddChangeListener(fn)
+	}
+}
+
+// ---- reserve path ----
+
+// Reserve searches the merged snapshot and places a hold on the winning
+// window, routing it through the two-phase path when it spans shards.
+// Retries on conflict against a fresh merge, like the single pool.
+func (s *Sharded) Reserve(req *job.Request, alg core.Algorithm, ttl time.Duration) (*Reservation, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].Reserve(req, alg, ttl)
+	}
+	sc := core.AcquireScanner()
+	defer core.ReleaseScanner(sc)
+	for attempt := 0; ; attempt++ {
+		snap := s.Snapshot()
+		w, err := core.FindObservedScanner(sc, alg, snap.Slots, req, s.opts.Collector)
+		if err != nil {
+			if errors.Is(err, core.ErrNoWindow) {
+				s.noWindow.Add(1)
+			}
+			return nil, err
+		}
+		res, err := s.ReserveWindow(w.Detach(), ttl)
+		if errors.Is(err, ErrConflict) && attempt+1 < reserveRetries {
+			continue
+		}
+		return res, err
+	}
+}
+
+// ReserveBest runs the CSA alternative search over the merged snapshot and
+// holds the extreme-by-criterion alternative, with the same conflict
+// retry.
+func (s *Sharded) ReserveBest(req *job.Request, crit csa.Criterion, maxAlts int, ttl time.Duration) (*Reservation, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].ReserveBest(req, crit, maxAlts, ttl)
+	}
+	sc := core.AcquireScanner()
+	defer core.ReleaseScanner(sc)
+	for attempt := 0; ; attempt++ {
+		snap := s.Snapshot()
+		alts, err := csa.SearchScanner(sc, snap.Slots, req, csa.Options{
+			MaxAlternatives: maxAlts,
+			MinSlotLength:   s.opts.MinSlotLength,
+		}, s.opts.Collector)
+		if err != nil {
+			if errors.Is(err, core.ErrNoWindow) {
+				s.noWindow.Add(1)
+			}
+			return nil, err
+		}
+		res, err := s.ReserveWindow(csa.Best(alts, crit), ttl)
+		if errors.Is(err, ErrConflict) && attempt+1 < reserveRetries {
+			continue
+		}
+		return res, err
+	}
+}
+
+// ReserveWindow places a hold on an externally found window. A window
+// whose placements all hash to one shard takes the fast path (one shard
+// mutation, exact TTL). A cross-shard window runs the two-phase hold:
+// prepare a sub-hold on every touched shard in ascending shard order under
+// one router-minted ID (shard TTL = client TTL + grace), and on any
+// refusal release the already-prepared sub-holds and report ErrConflict.
+// The prepare order is total, so two concurrent cross-shard reserves
+// cannot deadlock or double-book: whichever reaches a contended shard
+// first wins that span's fitsLocked check.
+func (s *Sharded) ReserveWindow(w *core.Window, ttl time.Duration) (*Reservation, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].ReserveWindow(w, ttl)
+	}
+	if w == nil || len(w.Placements) == 0 {
+		return nil, fmt.Errorf("inventory: cannot reserve an empty window")
+	}
+	if ttl <= 0 {
+		ttl = s.opts.DefaultTTL
+	}
+	expires := s.opts.Clock().Add(ttl)
+	order, parts := splitWindowByShard(w, len(s.shards))
+	claimed := s.nextID.Add(1)
+	id := fmt.Sprintf("r%08d", claimed)
+
+	if len(order) == 1 {
+		res, err := s.shards[order[0]].ReserveWindowID(id, w, expires)
+		if err != nil {
+			// Conflicts consume no ID when uncontended (parity with the
+			// single pool); a concurrent mint keeps the gap, which is fine.
+			s.nextID.CompareAndSwap(claimed, claimed-1)
+			return nil, err
+		}
+		s.track(id, order, expires, w)
+		return res, nil
+	}
+
+	shardExpires := expires.Add(crossShardGrace)
+	for i, si := range order {
+		if _, err := s.shards[si].ReserveWindowID(id, parts[si], shardExpires); err != nil {
+			for _, pi := range order[:i] {
+				_ = s.shards[pi].Release(id) // roll back prepared sub-holds
+			}
+			s.nextID.CompareAndSwap(claimed, claimed-1)
+			return nil, err
+		}
+	}
+	s.track(id, order, expires, w)
+	return &Reservation{ID: id, Window: w, Version: s.cur.Load().version, Expires: expires}, nil
+}
+
+func (s *Sharded) track(id string, order []int, expires time.Time, w *core.Window) {
+	e := &liveRes{shards: append([]int(nil), order...), expires: expires, window: w}
+	st := s.stripe(id)
+	st.mu.Lock()
+	st.m[id] = e
+	st.mu.Unlock()
+}
+
+// claim atomically removes and returns the routing record for id. Exactly
+// one of a racing Commit / Release / router sweep wins the claim; the
+// losers see nil and report ErrUnknownReservation, like the single pool.
+func (s *Sharded) claim(id string) *liveRes {
+	st := s.stripe(id)
+	st.mu.Lock()
+	e := st.m[id]
+	delete(st.m, id)
+	st.mu.Unlock()
+	return e
+}
+
+// splitWindowByShard groups a window's placements by owning shard,
+// preserving their order within each group, and recomputes each part's
+// aggregates with the same accumulation NewWindow uses. Returns the
+// touched shards in ascending order (the two-phase prepare order) and the
+// per-shard sub-windows.
+func splitWindowByShard(w *core.Window, n int) (order []int, parts map[int]*core.Window) {
+	parts = make(map[int]*core.Window)
+	for _, p := range w.Placements {
+		si := ShardOf(p.Node().ID, n)
+		part := parts[si]
+		if part == nil {
+			part = &core.Window{Start: w.Start}
+			parts[si] = part
+			order = append(order, si)
+		}
+		part.Placements = append(part.Placements, p)
+		if p.Exec > part.Runtime {
+			part.Runtime = p.Exec
+		}
+		part.Cost += p.Cost
+		part.ProcTime += p.Exec
+	}
+	sort.Ints(order)
+	return order, parts
+}
+
+// mergeWindowParts concatenates per-shard sub-windows (in the given
+// order) back into one window, recomputing the aggregates.
+func mergeWindowParts(wins []*core.Window) *core.Window {
+	total := 0
+	for _, p := range wins {
+		total += len(p.Placements)
+	}
+	out := &core.Window{Start: wins[0].Start, Placements: make([]core.Placement, 0, total)}
+	for _, p := range wins {
+		out.Placements = append(out.Placements, p.Placements...)
+		if p.Start < out.Start {
+			out.Start = p.Start
+		}
+		if p.Runtime > out.Runtime {
+			out.Runtime = p.Runtime
+		}
+		out.Cost += p.Cost
+		out.ProcTime += p.ProcTime
+	}
+	return out
+}
+
+// ---- settle path ----
+
+// Commit makes a hold permanent. For a cross-shard hold the router is the
+// expiry authority: a commit at or past the client deadline releases the
+// prepared sub-holds and reports ErrUnknownReservation, exactly as if the
+// hold had been swept (the shard-level grace exists so the sweepers cannot
+// race a fan-out that started in time). The fan-out commits in ascending
+// shard order; the committed window returned is the original (discovery
+// order), not the per-shard regrouping.
+func (s *Sharded) Commit(id string) (*core.Window, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].Commit(id)
+	}
+	e := s.claim(id)
+	if e == nil {
+		return nil, ErrUnknownReservation
+	}
+	if len(e.shards) > 1 && !e.expires.After(s.opts.Clock()) {
+		for _, si := range e.shards {
+			_ = s.shards[si].Release(id)
+		}
+		return nil, ErrUnknownReservation
+	}
+	ok := false
+	for _, si := range e.shards {
+		_, err := s.shards[si].Commit(id)
+		switch {
+		case err == nil:
+			ok = true
+		case errors.Is(err, ErrUnknownReservation):
+			// This shard's sub-hold lapsed (single-part: the whole hold).
+		default:
+			return nil, err // durability failure: latched, surface it
+		}
+	}
+	if !ok {
+		return nil, ErrUnknownReservation
+	}
+	st := s.stripe(id)
+	st.mu.Lock()
+	st.committed[id] = e.window
+	st.mu.Unlock()
+	return e.window, nil
+}
+
+// Release cancels a live hold on every shard that still has a part of it.
+func (s *Sharded) Release(id string) error {
+	if len(s.shards) == 1 {
+		return s.shards[0].Release(id)
+	}
+	e := s.claim(id)
+	if e == nil {
+		return ErrUnknownReservation
+	}
+	ok := false
+	for _, si := range e.shards {
+		err := s.shards[si].Release(id)
+		switch {
+		case err == nil:
+			ok = true
+		case errors.Is(err, ErrUnknownReservation):
+		default:
+			return err
+		}
+	}
+	if !ok {
+		return ErrUnknownReservation
+	}
+	return nil
+}
+
+// Sweep reclaims lapsed holds: cross-shard holds past their client
+// deadline are released on their shards (the router is their expiry
+// authority), dead routing records are pruned, and every shard runs its
+// own sweeper. Shard-local TTL expiry also happens automatically at every
+// shard mutation, exactly like the single pool; only the cross-shard
+// deadline needs the router's sweep (or the expiry+grace backstop).
+func (s *Sharded) Sweep() int {
+	if len(s.shards) == 1 {
+		return s.shards[0].Sweep()
+	}
+	now := s.opts.Clock()
+	type dead struct {
+		id string
+		e  *liveRes
+	}
+	var due []dead
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for id, e := range st.m {
+			if !e.expires.After(now) {
+				due = append(due, dead{id, e})
+				delete(st.m, id)
+			}
+		}
+		st.mu.Unlock()
+	}
+	n := 0
+	for _, d := range due {
+		if len(d.e.shards) == 1 {
+			continue // the shard's own sweeper expires it (OpExpire)
+		}
+		for _, si := range d.e.shards {
+			if err := s.shards[si].Release(d.id); err == nil {
+				n++
+			}
+		}
+	}
+	for _, sh := range s.shards {
+		n += sh.Sweep()
+	}
+	return n
+}
+
+// ---- capacity path ----
+
+// Add publishes additional capacity, partitioned to the owning shards.
+// The whole list is validated first, so a bad list mutates nothing.
+func (s *Sharded) Add(list slots.List) error {
+	if len(s.shards) == 1 {
+		return s.shards[0].Add(list)
+	}
+	if len(list) == 0 {
+		return nil
+	}
+	if err := list.Validate(); err != nil {
+		return err
+	}
+	parts := make(map[int]slots.List)
+	var order []int
+	for _, sl := range list {
+		si := ShardOf(sl.Node.ID, len(s.shards))
+		if parts[si] == nil {
+			order = append(order, si)
+		}
+		parts[si] = append(parts[si], sl)
+	}
+	sort.Ints(order)
+	for _, si := range order {
+		if err := s.shards[si].Add(parts[si]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Withdraw removes a node's capacity from its owning shard. Cancelled
+// holds that span other shards have their sibling sub-holds released
+// there, so all their spans return to the pool, like the single pool.
+func (s *Sharded) Withdraw(nodeID int) ([]string, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].Withdraw(nodeID)
+	}
+	owner := ShardOf(nodeID, len(s.shards))
+	cancelled, err := s.shards[owner].Withdraw(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range cancelled {
+		e := s.claim(id)
+		if e == nil {
+			continue
+		}
+		for _, si := range e.shards {
+			if si != owner {
+				_ = s.shards[si].Release(id)
+			}
+		}
+	}
+	return cancelled, nil
+}
+
+// ---- aggregation ----
+
+// AggregateCounters sums lifecycle counters across shards — the view the
+// drain-rate estimate and statusz read, so a cold shard contributes its
+// zeros instead of masking the others' totals. Note the per-shard counters
+// count sub-operations: one cross-shard reserve is one Reserves tick on
+// each touched shard.
+func AggregateCounters(cs ...Counters) Counters {
+	var t Counters
+	for _, c := range cs {
+		t.Reserves += c.Reserves
+		t.Conflicts += c.Conflicts
+		t.NoWindow += c.NoWindow
+		t.Commits += c.Commits
+		t.Releases += c.Releases
+		t.Expiries += c.Expiries
+		t.Adds += c.Adds
+		t.Withdrawals += c.Withdrawals
+		t.Cancelled += c.Cancelled
+	}
+	return t
+}
+
+// Status aggregates across every shard: counters are summed (a cold shard
+// adds zeros), hold/commit counts are distinct IDs (a cross-shard hold
+// counts once), and the version/free figures come from the merged
+// snapshot.
+func (s *Sharded) Status() Status {
+	if len(s.shards) == 1 {
+		return s.shards[0].Status()
+	}
+	snap := s.Snapshot()
+	st := Status{
+		Version:   snap.Version,
+		FreeSlots: len(snap.Slots),
+		FreeSpan:  snap.Slots.TotalSpan(),
+		Holds:     len(s.Holds()),
+		Committed: len(s.Committed()),
+	}
+	cs := make([]Counters, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shst := sh.Status()
+		st.Nodes += shst.Nodes
+		st.JournalLen += shst.JournalLen
+		cs = append(cs, shst.Counters)
+	}
+	st.Counters = AggregateCounters(cs...)
+	st.Counters.NoWindow += s.noWindow.Load()
+	return st
+}
+
+// ShardStatuses returns each shard's own Status (statusz drill-down).
+func (s *Sharded) ShardStatuses() []Status {
+	out := make([]Status, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Status()
+	}
+	return out
+}
+
+// Holds returns the distinct live hold IDs across all shards, sorted.
+func (s *Sharded) Holds() []string {
+	if len(s.shards) == 1 {
+		return s.shards[0].Holds()
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, sh := range s.shards {
+		for _, id := range sh.Holds() {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Committed returns the committed allocations keyed by ID. A cross-shard
+// window settled through this router is returned in its original
+// discovery order; one recovered from per-shard state is regrouped in
+// shard order with recomputed aggregates (the spans are exact either way).
+func (s *Sharded) Committed() map[string]*core.Window {
+	if len(s.shards) == 1 {
+		return s.shards[0].Committed()
+	}
+	type group struct {
+		shards []int
+		wins   []*core.Window
+	}
+	groups := make(map[string]*group)
+	for i, sh := range s.shards {
+		for id, w := range sh.Committed() {
+			g := groups[id]
+			if g == nil {
+				g = &group{}
+				groups[id] = g
+			}
+			g.shards = append(g.shards, i)
+			g.wins = append(g.wins, w)
+		}
+	}
+	out := make(map[string]*core.Window, len(groups))
+	for id, g := range groups {
+		if len(g.wins) == 1 {
+			out[id] = g.wins[0]
+			continue
+		}
+		st := s.stripe(id)
+		st.mu.Lock()
+		orig := st.committed[id]
+		st.mu.Unlock()
+		if orig != nil {
+			out[id] = orig
+		} else {
+			out[id] = mergeWindowParts(g.wins)
+		}
+	}
+	return out
+}

@@ -135,6 +135,14 @@ type Options struct {
 	// atomics, so the two views cannot disagree.
 	WAL *wal.Store
 
+	// WALs, when non-empty, are the per-shard durability stores behind a
+	// sharded inventory (index i backs shard i). The slotserve_wal_*
+	// metric families and the statusz "durability" aggregate sum the
+	// per-store figures (snapshot age takes the oldest shard); statusz
+	// additionally lists every shard's own figures. Mutually exclusive
+	// with WAL.
+	WALs []*wal.Store
+
 	// Follower, when non-nil, reports replication progress of the
 	// WAL-tailing replica behind a read-only server (the "replication"
 	// statusz section and the slotserve_follower_* metrics).
@@ -143,7 +151,10 @@ type Options struct {
 	// FindCacheSize bounds the churn-aware /v1/find result cache:
 	// 0 uses the inventory package's default capacity, > 0 sets an
 	// explicit entry bound, < 0 disables the cache (every find runs a
-	// fresh full scan — the stateless oracle behavior).
+	// fresh full scan — the stateless oracle behavior). Over a sharded
+	// pool the value is a per-shard budget: the cache's total entry bound
+	// is FindCacheSize (or the package default) times the shard count, so
+	// raising -shards never shrinks the per-shard working set.
 	FindCacheSize int
 
 	// WatchLimit caps concurrently parked /v1/watch subscribers; beyond
@@ -153,9 +164,11 @@ type Options struct {
 	WatchLimit int
 }
 
-// Server is the HTTP handler over one Inventory.
+// Server is the HTTP handler over one inventory pool — a single
+// *inventory.Inventory or a sharded router; every handler goes through
+// the Pool interface, so the HTTP surface is identical either way.
 type Server struct {
-	inv  *inventory.Inventory
+	inv  inventory.Pool
 	opts Options
 	mux  *http.ServeMux
 
@@ -164,13 +177,14 @@ type Server struct {
 	requests atomic.Uint64
 	shed     atomic.Uint64
 
-	// completed counts admitted requests whose handler finished; serviced
-	// and busyNanos count and time only the non-watch subset — a /v1/watch
-	// long-poll parks for seconds by design, and folding its wall time into
-	// the mean would poison the drain-rate estimate behind Retry-After.
+	// completed counts admitted requests whose handler finished. svc holds
+	// the per-shard service tallies behind the drain-rate estimate (one
+	// tally over an unsharded pool); both count only the non-watch subset —
+	// a /v1/watch long-poll parks for seconds by design, and folding its
+	// wall time into the mean would poison the drain-rate estimate behind
+	// Retry-After.
 	completed atomic.Uint64
-	serviced  atomic.Uint64
-	busyNanos atomic.Uint64
+	svc       []svcTally
 
 	// cache memoizes find results across requests with churn-aware
 	// invalidation; nil when Options.FindCacheSize < 0.
@@ -314,22 +328,31 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) *serverMetrics {
 		"Watches rejected because the subscriber limit was reached (429).",
 		func() float64 { return float64(hub.rejected.Load()) })
 
-	if w := s.opts.WAL; w != nil {
+	if n := s.inv.Shards(); n > 1 {
+		reg.SampledGauge("slotserve_shards",
+			"Inventory shards behind this server (1 = unsharded).",
+			func() float64 { return float64(n) })
+	}
+	if ws := s.walList(); len(ws) > 0 {
+		// With one store these sample it directly; with per-shard stores
+		// the sums (and oldest snapshot age) describe the layout as a
+		// whole — the same aggregates the statusz "durability" section
+		// reports, from the same atomics.
 		reg.SampledGauge("slotserve_wal_journal_seq",
-			"Last sequence handed to the WAL (appended, not necessarily durable).",
-			func() float64 { return float64(w.Stats().AppendedSeq) })
+			"Last sequence handed to the WAL (appended, not necessarily durable; summed over shards).",
+			func() float64 { return float64(aggregateWALStats(ws).AppendedSeq) })
 		reg.SampledGauge("slotserve_wal_durable_seq",
-			"Last sequence confirmed on stable storage by fsync.",
-			func() float64 { return float64(w.Stats().DurableSeq) })
+			"Last sequence confirmed on stable storage by fsync (summed over shards).",
+			func() float64 { return float64(aggregateWALStats(ws).DurableSeq) })
 		reg.SampledGauge("slotserve_wal_snapshot_seq",
-			"Sequence covered by the latest snapshot (0 = log-only).",
-			func() float64 { return float64(w.Stats().SnapshotSeq) })
+			"Sequence covered by the latest snapshot (0 = log-only; summed over shards).",
+			func() float64 { return float64(aggregateWALStats(ws).SnapshotSeq) })
 		reg.SampledGauge("slotserve_wal_snapshot_age_seconds",
-			"Seconds since the latest snapshot was written (-1 = none this process).",
-			func() float64 { return snapshotAgeSeconds(w.Stats()) })
+			"Seconds since the latest snapshot was written (-1 = none this process; oldest shard).",
+			func() float64 { return snapshotAgeSeconds(aggregateWALStats(ws)) })
 		reg.SampledCounter("slotserve_wal_fsyncs_total",
-			"Group commits flushed to stable storage.",
-			func() float64 { return float64(w.Stats().Fsyncs) })
+			"Group commits flushed to stable storage (summed over shards).",
+			func() float64 { return float64(aggregateWALStats(ws).Fsyncs) })
 	}
 	if f := s.opts.Follower; f != nil {
 		reg.SampledGauge("slotserve_follower_applied_seq",
@@ -363,8 +386,44 @@ func snapshotAgeSeconds(st wal.Stats) float64 {
 	return time.Since(time.Unix(0, st.SnapshotUnixNano)).Seconds()
 }
 
-// New builds the handler. The inventory must be non-nil.
-func New(inv *inventory.Inventory, opts Options) *Server {
+// walList is the durability stores behind the server: Options.WALs for a
+// sharded layout, a one-element list for Options.WAL, nil for none.
+func (s *Server) walList() []*wal.Store {
+	if len(s.opts.WALs) > 0 {
+		return s.opts.WALs
+	}
+	if s.opts.WAL != nil {
+		return []*wal.Store{s.opts.WAL}
+	}
+	return nil
+}
+
+// aggregateWALStats folds per-shard store stats into one layout-wide view:
+// sequences and fsyncs sum (each shard numbers its own log), and the
+// snapshot timestamp takes the *oldest* shard with one — the layout is only
+// as freshly snapshotted as its most stale member. Zero timestamps (no
+// snapshot yet) dominate for the same reason.
+func aggregateWALStats(ws []*wal.Store) wal.Stats {
+	if len(ws) == 1 {
+		return ws[0].Stats()
+	}
+	var out wal.Stats
+	for i, w := range ws {
+		st := w.Stats()
+		out.AppendedSeq += st.AppendedSeq
+		out.DurableSeq += st.DurableSeq
+		out.SnapshotSeq += st.SnapshotSeq
+		out.Fsyncs += st.Fsyncs
+		if i == 0 || st.SnapshotUnixNano < out.SnapshotUnixNano {
+			out.SnapshotUnixNano = st.SnapshotUnixNano
+		}
+	}
+	return out
+}
+
+// New builds the handler over a pool — a single *inventory.Inventory or
+// an *inventory.Sharded router. The pool must be non-nil.
+func New(inv inventory.Pool, opts Options) *Server {
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = 32
 	}
@@ -383,9 +442,19 @@ func New(inv *inventory.Inventory, opts Options) *Server {
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, opts.MaxInflight),
 		watch:    newWatchHub(opts.WatchLimit),
+		svc:      make([]svcTally, max(1, inv.Shards())),
 	}
 	if opts.FindCacheSize >= 0 {
-		s.cache = inventory.NewFindCache(inv, opts.FindCacheSize)
+		// FindCacheSize is a per-shard budget: the total bound scales with
+		// the shard count so each shard keeps its configured working set.
+		size := opts.FindCacheSize
+		if n := inv.Shards(); n > 1 {
+			if size == 0 {
+				size = inventory.DefaultFindCacheEntries
+			}
+			size *= n
+		}
+		s.cache = inventory.NewFindCache(inv, size)
 	}
 	// The hub re-checks a parked watch only when a publication's change
 	// range overlaps its horizon — the event-driven path: no polling, no
@@ -426,13 +495,36 @@ type reqInfo struct {
 	// alg is the selection algorithm or CSA criterion the request named
 	// ("amp", "csa:cost"); empty for non-search endpoints.
 	alg string
+
+	// shard is the inventory shard the request's mutation landed on (the
+	// shard of its window's first placement node); 0 for reads, searches,
+	// and unsharded pools. It picks the service tally the request's
+	// handler time is recorded into.
+	shard int
 }
 
 // annotateAlg records the request's algorithm name for the log line; a
-// request without the annotation slot (logging off) is a no-op.
+// request without the annotation slot is a no-op.
 func annotateAlg(ctx context.Context, name string) {
 	if info, _ := ctx.Value(reqInfoKey{}).(*reqInfo); info != nil {
 		info.alg = name
+	}
+}
+
+// annotateShard attributes the request to one shard's service tally.
+func annotateShard(ctx context.Context, shard int) {
+	if info, _ := ctx.Value(reqInfoKey{}).(*reqInfo); info != nil {
+		info.shard = shard
+	}
+}
+
+// annotateWindowShard attributes a mutating request to the shard of its
+// window's first placement node. No-op over an unsharded pool (one tally)
+// and for cross-shard windows' secondary parts — the drain estimate only
+// needs the aggregate to be right, not perfect attribution.
+func (s *Server) annotateWindowShard(ctx context.Context, w *core.Window) {
+	if n := s.inv.Shards(); n > 1 && w != nil && len(w.Placements) > 0 {
+		annotateShard(ctx, inventory.ShardOf(w.Placements[0].Node().ID, n))
 	}
 }
 
@@ -446,9 +538,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 	var info reqInfo
-	if s.opts.RequestLog != nil {
-		ctx = context.WithValue(ctx, reqInfoKey{}, &info)
-	}
+	ctx = context.WithValue(ctx, reqInfoKey{}, &info)
 	switch s.admit(ctx) {
 	case admitShed:
 		s.shed.Add(1)
@@ -483,8 +573,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/v1/watch" {
 		// Watch long-polls are excluded from the service-time mean: their
 		// handler time is dominated by intentional parking, not work.
-		s.busyNanos.Add(uint64(dur))
-		s.serviced.Add(1)
+		shard := info.shard
+		if shard < 0 || shard >= len(s.svc) {
+			shard = 0
+		}
+		s.svc[shard].busyNanos.Add(uint64(dur))
+		s.svc[shard].serviced.Add(1)
 	}
 	if col := s.opts.Collector; col != nil {
 		col.Span(obs.Span{
@@ -609,14 +703,50 @@ func (s *Server) retryAfter() int {
 	return retryAfterSeconds(s.queued.Load(), s.opts.MaxInflight, s.avgService())
 }
 
-// avgService is the observed mean handler wall time of non-watch
-// requests; zero until the first one completes.
-func (s *Server) avgService() time.Duration {
-	n := s.serviced.Load()
+// svcTally is one shard's completed-request tally: how many non-watch
+// requests it serviced and their summed handler wall time.
+type svcTally struct {
+	serviced  atomic.Uint64
+	busyNanos atomic.Uint64
+}
+
+// shardServiceStats is a point-in-time copy of one shard's service tally,
+// the input unit of avgServiceAcrossShards.
+type shardServiceStats struct {
+	Serviced  uint64
+	BusyNanos uint64
+}
+
+// avgServiceAcrossShards folds per-shard service tallies into the
+// pool-wide mean: total busy time over total completed counts. A cold
+// shard — zero completions, e.g. one whose nodes no mutation has landed
+// on yet — contributes nothing to either sum, so it can neither drag the
+// mean toward zero nor reset a warm layout's drain estimate back to the
+// cold-start floor. Zero until any shard has serviced a request.
+func avgServiceAcrossShards(stats []shardServiceStats) time.Duration {
+	var n, busy uint64
+	for _, st := range stats {
+		n += st.Serviced
+		busy += st.BusyNanos
+	}
 	if n == 0 {
 		return 0
 	}
-	return time.Duration(s.busyNanos.Load() / n)
+	return time.Duration(busy / n)
+}
+
+// avgService is the observed mean handler wall time of non-watch
+// requests, aggregated across the per-shard tallies; zero until the
+// first one completes.
+func (s *Server) avgService() time.Duration {
+	stats := make([]shardServiceStats, len(s.svc))
+	for i := range s.svc {
+		stats[i] = shardServiceStats{
+			Serviced:  s.svc[i].serviced.Load(),
+			BusyNanos: s.svc[i].busyNanos.Load(),
+		}
+	}
+	return avgServiceAcrossShards(stats)
 }
 
 // Retry-After clamps: never tell a client to come back sooner than 1s
@@ -858,6 +988,7 @@ func (s *Server) handleReserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.annotateWindowShard(r.Context(), res.Window)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":      res.ID,
 		"version": res.Version,
@@ -927,6 +1058,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.annotateWindowShard(r.Context(), win)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":     id,
 		"window": windowJSON(win),
@@ -1015,17 +1147,41 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		body["find_cache"] = s.cache.Stats()
 	}
+	// A sharded pool additionally exposes each shard's own Status, so an
+	// operator can see skew (one hot shard, one cold) that the merged
+	// inventory section averages away.
+	if sp, ok := s.inv.(interface{ ShardStatuses() []inventory.Status }); ok && s.inv.Shards() > 1 {
+		body["shards"] = sp.ShardStatuses()
+	}
 	// The durability figures come from the same store atomics the
 	// slotserve_wal_* metrics sample, so statusz and /metricsz agree.
-	if wl := s.opts.WAL; wl != nil {
-		wst := wl.Stats()
-		body["durability"] = map[string]any{
+	// Single store: the exact historical shape. Per-shard stores: the
+	// same shape holds the layout-wide aggregate, plus a per-shard list.
+	if ws := s.walList(); len(ws) > 0 {
+		wst := aggregateWALStats(ws)
+		dur := map[string]any{
 			"journal_seq":          wst.AppendedSeq,
 			"durable_seq":          wst.DurableSeq,
 			"last_snapshot_seq":    wst.SnapshotSeq,
 			"snapshot_age_seconds": snapshotAgeSeconds(wst),
 			"fsyncs":               wst.Fsyncs,
 		}
+		if len(ws) > 1 {
+			perShard := make([]map[string]any, len(ws))
+			for i, w := range ws {
+				sst := w.Stats()
+				perShard[i] = map[string]any{
+					"shard":                i,
+					"journal_seq":          sst.AppendedSeq,
+					"durable_seq":          sst.DurableSeq,
+					"last_snapshot_seq":    sst.SnapshotSeq,
+					"snapshot_age_seconds": snapshotAgeSeconds(sst),
+					"fsyncs":               sst.Fsyncs,
+				}
+			}
+			dur["shards"] = perShard
+		}
+		body["durability"] = dur
 	}
 	if f := s.opts.Follower; f != nil {
 		body["replication"] = map[string]any{

@@ -121,6 +121,7 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 // persist owned-window and slot-list encodings as nested documents.
 type eventJSON struct {
 	Seq     uint64          `json:"seq"`
+	GSeq    uint64          `json:"gseq,omitempty"` // cross-shard merge key; 0 = unsharded
 	Op      int             `json:"op"`
 	ID      string          `json:"id,omitempty"`
 	Node    int             `json:"node,omitempty"`
@@ -132,7 +133,7 @@ type eventJSON struct {
 
 // EncodeEvent serializes one journal event to its record payload.
 func EncodeEvent(ev inventory.Event) ([]byte, error) {
-	out := eventJSON{Seq: ev.Seq, Op: int(ev.Op), ID: ev.ID, Node: ev.Node, OK: ev.OK}
+	out := eventJSON{Seq: ev.Seq, GSeq: ev.GSeq, Op: int(ev.Op), ID: ev.ID, Node: ev.Node, OK: ev.OK}
 	if !ev.Expires.IsZero() {
 		out.Expires = ev.Expires.UnixNano()
 	}
@@ -160,7 +161,7 @@ func DecodeEvent(payload []byte) (inventory.Event, error) {
 		return inventory.Event{}, fmt.Errorf("wal: decoding event: %w", err)
 	}
 	ev := inventory.Event{
-		Seq: in.Seq, Op: inventory.Op(in.Op), ID: in.ID, Node: in.Node, OK: in.OK,
+		Seq: in.Seq, GSeq: in.GSeq, Op: inventory.Op(in.Op), ID: in.ID, Node: in.Node, OK: in.OK,
 	}
 	if in.Expires != 0 {
 		ev.Expires = time.Unix(0, in.Expires)
@@ -200,6 +201,7 @@ type stateJSON struct {
 	Format    int                `json:"format"`
 	Version   uint64             `json:"snapshot_version"`
 	Seq       uint64             `json:"seq"`
+	GSeq      uint64             `json:"gseq,omitempty"` // cross-shard high-water mark; 0 = unsharded
 	NextID    uint64             `json:"next_id"`
 	Counters  inventory.Counters `json:"counters"`
 	Base      json.RawMessage    `json:"base,omitempty"`
@@ -213,6 +215,7 @@ func EncodeState(st *inventory.State) ([]byte, error) {
 		Format:   persist.FormatVersion,
 		Version:  st.Version,
 		Seq:      st.Seq,
+		GSeq:     st.GSeq,
 		NextID:   st.NextID,
 		Counters: st.Counters,
 	}
@@ -257,6 +260,7 @@ func DecodeState(payload []byte) (*inventory.State, error) {
 	st := &inventory.State{
 		Version:  in.Version,
 		Seq:      in.Seq,
+		GSeq:     in.GSeq,
 		NextID:   in.NextID,
 		Counters: in.Counters,
 	}

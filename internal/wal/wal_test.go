@@ -68,8 +68,9 @@ func churnLeader(t *testing.T, dir string, seed uint64, ops int, walOpts Options
 	return inv, store
 }
 
-// drive performs a deterministic op mix against inv.
-func drive(t *testing.T, inv *inventory.Inventory, seed uint64, ops int) {
+// drive performs a deterministic op mix against inv (a plain inventory or
+// a sharded router — the workload is the same either way).
+func drive(t *testing.T, inv inventory.Pool, seed uint64, ops int) {
 	t.Helper()
 	rng := randx.New(seed + 999)
 	var held []string
